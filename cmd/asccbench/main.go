@@ -1,0 +1,203 @@
+// Command asccbench reproduces the paper's tables and figures from the
+// command line.
+//
+// Usage:
+//
+//	asccbench -exp fig8                 # one experiment (see -list)
+//	asccbench -exp all                  # the full evaluation, paper order
+//	asccbench -exp fig7 -scale 4 -measure 8000000
+//	asccbench -list                     # experiment index
+//	asccbench -mix 445+456 -policy AVGCC  # a single ad-hoc run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ascc"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig1..fig11, table1/4/5, shared, mt, prefetch, spills, limited, ablation) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Int("scale", 8, "geometry scale divisor (1 = the paper's absolute sizes; slow)")
+		warmup  = flag.Uint64("warmup", 0, "warmup instructions per core (0 = default for the scale)")
+		measure = flag.Uint64("measure", 0, "measured instructions per core (0 = default for the scale)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		seeds   = flag.Int("seeds", 1, "with -mix: repeat over N seeds and report mean ± 95% CI")
+		mix     = flag.String("mix", "", "ad-hoc mix to run, e.g. 445+456 or 445+401+444+456")
+		policy  = flag.String("policy", "AVGCC", "policy for -mix/-trace (baseline, CC, DSR, DSR+DIP, DSR-3S, ECC, LRS, LMS, GMS, LMS+BIP, GMS+SABIP, ASCC, ASCC-2S, AVGCC, QoS-AVGCC)")
+		format  = flag.String("format", "text", "experiment output format: text, csv or json")
+		traces  = flag.String("trace", "", "comma-separated trace files (.trc binary or .csv), one per core, replayed under -policy")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments (paper artefact -> id):")
+		for _, id := range ascc.ExperimentIDs() {
+			fmt.Println("  " + id)
+		}
+		return
+	}
+
+	cfg := ascc.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	if *scale != 8 {
+		// Scale the default budgets so reuse cycles complete (DESIGN.md §5).
+		cfg.WarmupInstr = cfg.WarmupInstr * 8 / uint64(*scale)
+		cfg.MeasureInstr = cfg.MeasureInstr * 8 / uint64(*scale)
+	}
+	if *warmup > 0 {
+		cfg.WarmupInstr = *warmup
+	}
+	if *measure > 0 {
+		cfg.MeasureInstr = *measure
+	}
+
+	switch {
+	case *traces != "":
+		if err := runTraces(cfg, *traces, *policy); err != nil {
+			fail(err)
+		}
+	case *mix != "" && *seeds > 1:
+		if err := runMixSeeds(cfg, *mix, *policy, *seeds); err != nil {
+			fail(err)
+		}
+	case *mix != "":
+		if err := runMix(cfg, *mix, *policy); err != nil {
+			fail(err)
+		}
+	case *exp == "all":
+		for _, id := range ascc.ExperimentIDs() {
+			if err := runExperiment(cfg, id, *format); err != nil {
+				fail(err)
+			}
+		}
+	case *exp != "":
+		if err := runExperiment(cfg, *exp, *format); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "asccbench:", err)
+	os.Exit(1)
+}
+
+func runExperiment(cfg ascc.Config, id, format string) error {
+	start := time.Now()
+	res, err := ascc.RunExperiment(cfg, id)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "csv":
+		if err := res.Table.CSV(os.Stdout); err != nil {
+			return err
+		}
+	case "json":
+		if err := res.Table.JSON(os.Stdout); err != nil {
+			return err
+		}
+	case "text":
+		fmt.Println(res.Table)
+		fmt.Printf("[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv or json)", format)
+	}
+	return nil
+}
+
+// runMixSeeds repeats one mix/policy comparison across several seeds.
+func runMixSeeds(cfg ascc.Config, mixSpec, policy string, n int) error {
+	mixIDs, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	runner := ascc.NewRunner(cfg)
+	st, err := runner.SpeedupOverSeeds(mixIDs, ascc.Policy(policy), n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mix %s under %s vs baseline over %d seeds:\n  weighted speedup %s\n",
+		ascc.MixName(mixIDs), policy, n, st)
+	return nil
+}
+
+// runTraces replays externally supplied trace files, one per core.
+func runTraces(cfg ascc.Config, spec, policy string) error {
+	paths := strings.Split(spec, ",")
+	specs := make([]ascc.TraceSpec, len(paths))
+	for i, p := range paths {
+		specs[i] = ascc.TraceSpec{Path: strings.TrimSpace(p)}
+	}
+	runner := ascc.NewRunner(cfg)
+	res, err := runner.RunTraces(specs, ascc.Policy(policy))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d traces under %s\n", len(specs), policy)
+	fmt.Printf("%-6s %-20s %8s %8s %10s %10s %8s\n",
+		"core", "trace", "CPI", "MPKI", "spillsOut", "spillsIn", "AML")
+	for i, c := range res.Cores {
+		fmt.Printf("%-6d %-20s %8.3f %8.2f %10d %10d %8.1f\n",
+			i, specs[i].Path, c.CPI(), c.MPKI(), c.SpillsOut, c.SpillsIn, c.AML())
+	}
+	return nil
+}
+
+// parseMix parses "445+456" into benchmark ids.
+func parseMix(mixSpec string) ([]int, error) {
+	parts := strings.Split(mixSpec, "+")
+	mixIDs := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad mix element %q: %w", p, err)
+		}
+		mixIDs = append(mixIDs, id)
+	}
+	return mixIDs, nil
+}
+
+func runMix(cfg ascc.Config, mixSpec, policy string) error {
+	mixIDs, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	runner := ascc.NewRunner(cfg)
+	base, err := runner.RunMix(mixIDs, ascc.Baseline)
+	if err != nil {
+		return err
+	}
+	res, err := runner.RunMix(mixIDs, ascc.Policy(policy))
+	if err != nil {
+		return err
+	}
+	alone, err := runner.AloneCPIs(mixIDs)
+	if err != nil {
+		return err
+	}
+	ws := ascc.WeightedSpeedup(ascc.CPIs(res), alone)
+	wsBase := ascc.WeightedSpeedup(ascc.CPIs(base), alone)
+	fmt.Printf("mix %s under %s vs baseline: weighted speedup %+.2f%%\n",
+		ascc.MixName(mixIDs), policy, 100*(ws/wsBase-1))
+	fmt.Printf("%-6s %-10s %8s %8s %8s %10s %10s %8s\n",
+		"core", "benchmark", "CPI", "base", "MPKI", "spillsOut", "spillsIn", "AML")
+	for i, c := range res.Cores {
+		p, _ := ascc.BenchmarkByID(mixIDs[i])
+		fmt.Printf("%-6d %-10s %8.3f %8.3f %8.2f %10d %10d %8.1f\n",
+			i, p.Name, c.CPI(), base.Cores[i].CPI(), c.MPKI(), c.SpillsOut, c.SpillsIn, c.AML())
+	}
+	return nil
+}

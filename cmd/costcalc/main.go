@@ -1,0 +1,53 @@
+// Command costcalc prints the storage-cost analysis of the paper's §7
+// (Table 5) for a configurable cache geometry: the baseline tag/data store
+// and the overhead of ASCC, AVGCC (optionally counter-limited), the
+// QoS-aware variant and DSR.
+//
+// Usage:
+//
+//	costcalc                       # the paper's 1MB/8-way/32B, 42-bit geometry
+//	costcalc -size 4194304 -ways 16
+//	costcalc -maxcounters 128      # the §7 limited-counter AVGCC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ascc/internal/cost"
+)
+
+func main() {
+	var (
+		size        = flag.Int("size", 1<<20, "cache size in bytes")
+		ways        = flag.Int("ways", 8, "associativity")
+		line        = flag.Int("line", 32, "line size in bytes")
+		addr        = flag.Int("addr", 42, "physical address bits")
+		maxCounters = flag.Int("maxcounters", 0, "limit AVGCC counters (0 = one per set)")
+	)
+	flag.Parse()
+
+	g := cost.CacheGeometry{SizeBytes: *size, Ways: *ways, LineBytes: *line, AddressBits: *addr}
+	if g.Sets() <= 0 || g.Sets()&(g.Sets()-1) != 0 {
+		fmt.Fprintf(os.Stderr, "costcalc: geometry yields %d sets (need a power of two)\n", g.Sets())
+		os.Exit(1)
+	}
+
+	fmt.Printf("baseline: %d sets, %d lines, %d-bit tag entries, %.0f kB tags + %d kB data = %.0f kB\n\n",
+		g.Sets(), g.Lines(), g.TagEntryBits(),
+		float64(g.TagStoreBits())/8/1024, g.SizeBytes/1024,
+		float64(g.BaselineTotalBits())/8/1024)
+
+	for _, rep := range []struct {
+		name string
+		r    cost.Report
+	}{
+		{"ASCC", cost.ASCCReport(g)},
+		{"AVGCC", cost.AVGCCReport(g, *maxCounters)},
+		{"QoS-AVGCC", cost.QoSAVGCCReport(g)},
+		{"DSR", cost.DSRReport(g)},
+	} {
+		fmt.Printf("--- %s ---\n%s\n", rep.name, rep.r)
+	}
+}

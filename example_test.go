@@ -1,0 +1,48 @@
+package ascc_test
+
+import (
+	"fmt"
+
+	"ascc"
+)
+
+// Example_storageCost reproduces the Table 5 arithmetic: AVGCC needs one
+// 4-bit saturation counter and one insertion-policy bit per set, plus the
+// A/B/D counters.
+func Example_storageCost() {
+	rep, _ := ascc.StorageCost("AVGCC")
+	fmt.Printf("AVGCC overhead: %d bits (%.1f B), %.2f%% with the paper's kB rounding\n",
+		rep.TotalOverheadBits(), float64(rep.TotalOverheadBits())/8, rep.PaperRoundedPercent())
+	// Output:
+	// AVGCC overhead: 20508 bits (2563.5 B), 0.17% with the paper's kB rounding
+}
+
+// Example_benchmarks lists the workload models of Table 3.
+func Example_benchmarks() {
+	for _, p := range ascc.Benchmarks()[:3] {
+		fmt.Printf("%d.%s: %s, table MPKI %.1f\n", p.ID, p.Name, p.Category, p.TableMPKI)
+	}
+	// Output:
+	// 401.bzip2: capacity-hungry, table MPKI 2.7
+	// 429.mcf: capacity-hungry, table MPKI 40.1
+	// 433.milc: streaming, table MPKI 33.1
+}
+
+// Example_mixes shows the paper's workload naming.
+func Example_mixes() {
+	fmt.Println(ascc.MixName(ascc.FourAppMixes()[0]))
+	fmt.Println(len(ascc.TwoAppMixes()), "two-application workloads")
+	// Output:
+	// 445+401+444+456
+	// 14 two-application workloads
+}
+
+// Example_metrics computes the paper's two evaluation metrics.
+func Example_metrics() {
+	cpis := []float64{2.0, 4.0}  // running together
+	alone := []float64{2.0, 2.0} // each alone
+	fmt.Printf("weighted speedup %.2f, fairness %.2f\n",
+		ascc.WeightedSpeedup(cpis, alone), ascc.HMeanFairness(cpis, alone))
+	// Output:
+	// weighted speedup 1.50, fairness 0.67
+}

@@ -1,0 +1,65 @@
+// policycompare: evaluate every cooperative-caching design on one 4-core
+// multiprogrammed workload — the paper's Figure 8 scenario for a single mix
+// — reporting speedup, fairness and the memory-latency breakdown.
+//
+//	go run ./examples/policycompare
+//	go run ./examples/policycompare 433 471 473 482
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"ascc"
+)
+
+func main() {
+	mix := []int{445, 444, 456, 471} // givers + takers, Table 1's second mix
+	if args := os.Args[1:]; len(args) > 0 {
+		mix = mix[:0]
+		for _, a := range args {
+			id, err := strconv.Atoi(a)
+			if err != nil {
+				log.Fatalf("bad benchmark id %q", a)
+			}
+			mix = append(mix, id)
+		}
+	}
+
+	cfg := ascc.DefaultConfig()
+	runner := ascc.NewRunner(cfg)
+	alone, err := runner.AloneCPIs(mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := runner.RunMix(mix, ascc.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wsBase := ascc.WeightedSpeedup(ascc.CPIs(baseline), alone)
+	fairBase := ascc.HMeanFairness(ascc.CPIs(baseline), alone)
+
+	fmt.Printf("workload %s (%d cores)\n\n", ascc.MixName(mix), len(mix))
+	fmt.Printf("%-10s %9s %9s %9s %9s %9s\n", "policy", "speedup", "fairness", "spills", "swaps", "offchip")
+	for _, pol := range []ascc.Policy{
+		ascc.CC, ascc.DSR, ascc.DSRDIP, ascc.ECC,
+		ascc.ASCC, ascc.AVGCC, ascc.QoSAVGCC,
+	} {
+		res, err := runner.RunMix(mix, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws := ascc.WeightedSpeedup(ascc.CPIs(res), alone)
+		fair := ascc.HMeanFairness(ascc.CPIs(res), alone)
+		var spills, swaps uint64
+		for _, c := range res.Cores {
+			spills += c.SpillsOut
+			swaps += c.Swaps
+		}
+		fmt.Printf("%-10s %+8.1f%% %+8.1f%% %9d %9d %9d\n", pol,
+			100*(ws/wsBase-1), 100*(fair/fairBase-1), spills, swaps, res.TotalOffChip())
+	}
+	fmt.Printf("\n(baseline off-chip accesses: %d)\n", baseline.TotalOffChip())
+}

@@ -1,0 +1,51 @@
+// Quickstart: run one multiprogrammed mix under the baseline private LLC
+// and under AVGCC, and report the paper's headline metric (weighted-speedup
+// improvement).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ascc"
+)
+
+func main() {
+	cfg := ascc.DefaultConfig()
+	runner := ascc.NewRunner(cfg)
+
+	// gobmk (a small-working-set "giver") next to hmmer (a capacity-hungry
+	// "taker") — the scenario cooperative caching is built for.
+	mix := []int{445, 456}
+
+	baseline, err := runner.RunMix(mix, ascc.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avgcc, err := runner.RunMix(mix, ascc.AVGCC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alone, err := runner.AloneCPIs(mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mix %s on a 2-core CMP with private LLCs\n\n", ascc.MixName(mix))
+	fmt.Printf("%-12s %12s %12s %14s\n", "benchmark", "baseline CPI", "AVGCC CPI", "off-chip misses")
+	for i, id := range mix {
+		p, _ := ascc.BenchmarkByID(id)
+		fmt.Printf("%-12s %12.3f %12.3f %7d -> %d\n", p.Name,
+			baseline.Cores[i].CPI(), avgcc.Cores[i].CPI(),
+			baseline.Cores[i].L2MemFills, avgcc.Cores[i].L2MemFills)
+	}
+
+	wsBase := ascc.WeightedSpeedup(ascc.CPIs(baseline), alone)
+	wsAVGCC := ascc.WeightedSpeedup(ascc.CPIs(avgcc), alone)
+	fmt.Printf("\nweighted speedup: %.3f -> %.3f (%+.1f%%)\n", wsBase, wsAVGCC, 100*(wsAVGCC/wsBase-1))
+	fmt.Printf("spills: %d lines moved between the private caches, %d swaps\n",
+		avgcc.Cores[0].SpillsOut+avgcc.Cores[1].SpillsOut,
+		avgcc.Cores[0].Swaps+avgcc.Cores[1].Swaps)
+}

@@ -1,0 +1,3 @@
+module ascc
+
+go 1.22

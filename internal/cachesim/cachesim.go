@@ -1,0 +1,440 @@
+// Package cachesim implements the set-associative cache model that underlies
+// every cache in the simulated CMP: private L1s, private L2s and the shared
+// LLC alternative.
+//
+// The model is policy-free: it maintains tags, MESI-style line states, a true
+// LRU recency stack per set, and per-set statistics, and it exposes explicit
+// insertion positions (MRU, LRU, LRU-1, ...) so that the cooperative-caching
+// policies in internal/policies can implement MRU insertion, BIP and the
+// paper's SABIP on top of it. Coherence across caches is orchestrated by
+// internal/cmp; a Cache only answers for its own contents.
+package cachesim
+
+import "fmt"
+
+// LineState is a MESI coherence state.
+type LineState uint8
+
+// MESI states. Invalid lines are not present for lookup purposes.
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the canonical one-letter MESI name.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("LineState(%d)", uint8(s))
+}
+
+// Line is one cache line's bookkeeping. Tag stores the full block address
+// (byte address >> log2(line size)); keeping the whole block address as the
+// tag costs a few bits of model memory but removes any chance of aliasing
+// between the simulated caches.
+type Line struct {
+	Tag      uint64
+	State    LineState
+	Dirty    bool
+	Spilled  bool // line was placed here by a spill from another cache
+	Prefetch bool // line was brought in by a prefetcher and not yet demanded
+	Reused   bool // line was hit at least once since it was (re)inserted
+	Owner    int  // core whose execution allocated the line (for stats)
+}
+
+// Valid reports whether the line holds data.
+func (l *Line) Valid() bool { return l.State != Invalid }
+
+// InsertPos selects where in the recency stack a newly inserted line lands.
+type InsertPos int
+
+const (
+	// InsertMRU is traditional LRU-replacement insertion at the top of the
+	// recency stack.
+	InsertMRU InsertPos = iota
+	// InsertLRU inserts at the bottom of the stack (LIP / the common case of
+	// BIP).
+	InsertLRU
+	// InsertLRU1 inserts at the second-to-bottom position; this is the common
+	// case of the paper's Spilling-Aware BIP (SABIP), which protects the most
+	// recently inserted line from immediate eviction by spills.
+	InsertLRU1
+)
+
+// String names the insertion position.
+func (p InsertPos) String() string {
+	switch p {
+	case InsertMRU:
+		return "MRU"
+	case InsertLRU:
+		return "LRU"
+	case InsertLRU1:
+		return "LRU-1"
+	}
+	return fmt.Sprintf("InsertPos(%d)", int(p))
+}
+
+// Config describes a cache's geometry.
+type Config struct {
+	SizeBytes   int // total data capacity
+	Ways        int // associativity K
+	LineBytes   int // line (block) size
+	EnabledWays int // 0 means all Ways; < Ways models a partially disabled cache (Fig. 1)
+	FullyAssoc  bool
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cachesim: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d not a power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cachesim: size %dB not a multiple of line size %dB", c.SizeBytes, c.LineBytes)
+	}
+	if c.FullyAssoc {
+		return nil
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cachesim: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cachesim: set count %d not a power of two", sets)
+	}
+	if c.EnabledWays < 0 || c.EnabledWays > c.Ways {
+		return fmt.Errorf("cachesim: enabled ways %d outside [0,%d]", c.EnabledWays, c.Ways)
+	}
+	return nil
+}
+
+// SetStats accumulates per-set demand statistics; the harness uses them for
+// the paper's Figure 2 favored/constant classification.
+type SetStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// set is one associativity set with a true-LRU recency stack. stack[0] is
+// the MRU way index; stack[len-1] the LRU.
+type set struct {
+	lines []Line
+	stack []int
+}
+
+// Cache is a single set-associative cache.
+type Cache struct {
+	cfg      Config
+	sets     []set
+	setMask  uint64
+	ways     int // enabled ways
+	stats    []SetStats
+	hits     uint64
+	misses   uint64
+	accesses uint64
+}
+
+// New builds a cache from cfg. It panics on invalid geometry (construction
+// happens at configuration time; runtime paths never construct caches).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	numSets := 1
+	ways := lines
+	if !cfg.FullyAssoc {
+		numSets = lines / cfg.Ways
+		ways = cfg.Ways
+	}
+	enabled := ways
+	if !cfg.FullyAssoc && cfg.EnabledWays > 0 {
+		enabled = cfg.EnabledWays
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([]set, numSets),
+		setMask: uint64(numSets - 1),
+		ways:    enabled,
+		stats:   make([]SetStats, numSets),
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]Line, ways)
+		c.sets[i].stack = make([]int, enabled)
+		for w := 0; w < enabled; w++ {
+			c.sets[i].stack[w] = w
+		}
+	}
+	return c
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// Ways returns the number of enabled ways per set.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetIndex maps a block address to its set.
+func (c *Cache) SetIndex(block uint64) int { return int(block & c.setMask) }
+
+// Lookup finds block without changing any state. It returns the way index
+// and whether the block is present.
+func (c *Cache) Lookup(block uint64) (way int, ok bool) {
+	s := &c.sets[c.SetIndex(block)]
+	for w := 0; w < c.ways; w++ {
+		if s.lines[w].State != Invalid && s.lines[w].Tag == block {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Line returns a pointer to the line at (setIdx, way) for inspection or
+// state mutation by the coherence engine.
+func (c *Cache) Line(setIdx, way int) *Line { return &c.sets[setIdx].lines[way] }
+
+// Access performs a demand lookup: on a hit the line is promoted to MRU and
+// per-set hit statistics are updated; on a miss only the miss counters move.
+// The caller handles the fill via Victim/Insert.
+func (c *Cache) Access(block uint64) (way int, hit bool) {
+	c.accesses++
+	si := c.SetIndex(block)
+	w, ok := c.Lookup(block)
+	if ok {
+		c.hits++
+		c.stats[si].Hits++
+		c.touch(si, w)
+		return w, true
+	}
+	c.misses++
+	c.stats[si].Misses++
+	return -1, false
+}
+
+// Touch promotes the line at (setIdx, way) to MRU without counting an access
+// (used when coherence operations reuse a resident line).
+func (c *Cache) Touch(setIdx, way int) { c.touch(setIdx, way) }
+
+func (c *Cache) touch(setIdx, way int) {
+	s := &c.sets[setIdx]
+	for i, w := range s.stack {
+		if w == way {
+			copy(s.stack[1:i+1], s.stack[:i])
+			s.stack[0] = way
+			return
+		}
+	}
+	panic(fmt.Sprintf("cachesim: way %d not in recency stack of set %d", way, setIdx))
+}
+
+// Victim returns the way that would be replaced next in block's set: the
+// first invalid way if any, else the LRU way. It does not modify the cache.
+func (c *Cache) Victim(block uint64) int {
+	return c.VictimInSet(c.SetIndex(block))
+}
+
+// VictimInSet is Victim for an explicit set index.
+func (c *Cache) VictimInSet(setIdx int) int {
+	s := &c.sets[setIdx]
+	for w := 0; w < c.ways; w++ {
+		if s.lines[w].State == Invalid {
+			return w
+		}
+	}
+	return s.stack[len(s.stack)-1]
+}
+
+// Insert places a new line for block into its set at the given recency
+// position, evicting whatever occupied the victim way. It returns the
+// evicted line (State == Invalid if the way was free). The new line's
+// State/Dirty/Spilled/Owner are taken from proto.
+func (c *Cache) Insert(block uint64, pos InsertPos, proto Line) (evicted Line) {
+	si := c.SetIndex(block)
+	w := c.VictimInSet(si)
+	s := &c.sets[si]
+	evicted = s.lines[w]
+	proto.Tag = block
+	s.lines[w] = proto
+	c.place(si, w, pos)
+	return evicted
+}
+
+// place moves way w to the requested recency position.
+func (c *Cache) place(setIdx, w int, pos InsertPos) {
+	s := &c.sets[setIdx]
+	// Remove w from the stack.
+	idx := -1
+	for i, x := range s.stack {
+		if x == w {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("cachesim: way %d missing from stack of set %d", w, setIdx))
+	}
+	copy(s.stack[idx:], s.stack[idx+1:])
+	s.stack = s.stack[:len(s.stack)-1]
+	// Reinsert at the requested position.
+	target := 0
+	switch pos {
+	case InsertMRU:
+		target = 0
+	case InsertLRU:
+		target = len(s.stack)
+	case InsertLRU1:
+		target = len(s.stack) - 1
+		if target < 0 {
+			target = 0
+		}
+	default:
+		panic(fmt.Sprintf("cachesim: unknown insert position %v", pos))
+	}
+	s.stack = append(s.stack, 0)
+	copy(s.stack[target+1:], s.stack[target:])
+	s.stack[target] = w
+}
+
+// VictimAmong returns the victim way in setIdx restricted to ways for which
+// allowed returns true: the first allowed invalid way, else the least
+// recently used allowed way. It returns -1 if no way is allowed. Used by
+// region-partitioned policies (ECC).
+func (c *Cache) VictimAmong(setIdx int, allowed func(way int) bool) int {
+	s := &c.sets[setIdx]
+	for w := 0; w < c.ways; w++ {
+		if allowed(w) && s.lines[w].State == Invalid {
+			return w
+		}
+	}
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		if allowed(s.stack[i]) {
+			return s.stack[i]
+		}
+	}
+	return -1
+}
+
+// VictimDead picks a victim among the set's dead lines: the first invalid
+// way, else the least-recently-used way whose line was never reused since
+// insertion. If every valid line has been reused, it clears all the set's
+// reuse bits (second-chance aging, so lines whose activity has ceased
+// become eligible on a later attempt) and reports no victim. This is the
+// guest-admission mechanism of the ASCC-family policies: spilled lines may
+// only displace a receiver set's demonstrably dead lines.
+func (c *Cache) VictimDead(setIdx int) (way int, ok bool) {
+	s := &c.sets[setIdx]
+	for w := 0; w < c.ways; w++ {
+		if s.lines[w].State == Invalid {
+			return w, true
+		}
+	}
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		if w := s.stack[i]; !s.lines[w].Reused {
+			return w, true
+		}
+	}
+	for w := 0; w < c.ways; w++ {
+		s.lines[w].Reused = false
+	}
+	return -1, false
+}
+
+// InsertWay places a new line for block into an explicit way of its set at
+// the given recency position, returning the evicted line. The caller is
+// responsible for choosing a way in block's set (e.g. via VictimAmong).
+func (c *Cache) InsertWay(block uint64, way int, pos InsertPos, proto Line) (evicted Line) {
+	si := c.SetIndex(block)
+	s := &c.sets[si]
+	evicted = s.lines[way]
+	proto.Tag = block
+	s.lines[way] = proto
+	c.place(si, way, pos)
+	return evicted
+}
+
+// Invalidate removes block from the cache if present, returning the line as
+// it was (for writeback decisions). The way's stack slot moves to LRU so it
+// is the immediate victim.
+func (c *Cache) Invalidate(block uint64) (Line, bool) {
+	w, ok := c.Lookup(block)
+	if !ok {
+		return Line{}, false
+	}
+	si := c.SetIndex(block)
+	old := c.sets[si].lines[w]
+	c.sets[si].lines[w] = Line{}
+	c.place(si, w, InsertLRU)
+	return old, true
+}
+
+// RecencyStack returns a copy of the set's recency stack, MRU first.
+// Intended for tests and debugging.
+func (c *Cache) RecencyStack(setIdx int) []int {
+	s := c.sets[setIdx].stack
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+// SetStatsFor returns the accumulated stats for one set.
+func (c *Cache) SetStatsFor(setIdx int) SetStats { return c.stats[setIdx] }
+
+// ResetSetStats zeroes all per-set statistics (totals are preserved).
+func (c *Cache) ResetSetStats() {
+	for i := range c.stats {
+		c.stats[i] = SetStats{}
+	}
+}
+
+// Totals returns lifetime accesses, hits and misses.
+func (c *Cache) Totals() (accesses, hits, misses uint64) {
+	return c.accesses, c.hits, c.misses
+}
+
+// ResetTotals zeroes the lifetime counters and per-set stats.
+func (c *Cache) ResetTotals() {
+	c.accesses, c.hits, c.misses = 0, 0, 0
+	c.ResetSetStats()
+}
+
+// ValidLines counts valid lines in the whole cache (tests / occupancy
+// metrics).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for si := range c.sets {
+		for w := 0; w < c.ways; w++ {
+			if c.sets[si].lines[w].Valid() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEachLine calls fn for every valid line. Iteration order is
+// deterministic (set-major, then way).
+func (c *Cache) ForEachLine(fn func(setIdx, way int, l *Line)) {
+	for si := range c.sets {
+		for w := 0; w < c.ways; w++ {
+			if c.sets[si].lines[w].Valid() {
+				fn(si, w, &c.sets[si].lines[w])
+			}
+		}
+	}
+}

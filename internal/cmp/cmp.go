@@ -1,0 +1,697 @@
+// Package cmp implements the chip-multiprocessor simulator: private L1/L2
+// hierarchies per core, MESI-style broadcast coherence between the private
+// L2s, the cooperative spilling/swap mechanics the policies drive, a
+// trace-driven timing model, and the shared-LLC alternative of §6.1.
+//
+// The engine is deliberately single-threaded and deterministic: experiments
+// compare policies on bit-identical reference streams, which is what the
+// paper's relative improvements measure.
+package cmp
+
+import (
+	"fmt"
+
+	"ascc/internal/cachesim"
+	"ascc/internal/coop"
+	"ascc/internal/mem"
+	"ascc/internal/prefetch"
+	"ascc/internal/ssl"
+	"ascc/internal/trace"
+)
+
+// Params describes the simulated machine. Latencies are in core cycles at
+// the paper's 4 GHz (Table 2: 9-cycle local L2 hit, 25-cycle remote hit,
+// 115 ns ≈ 460-cycle memory).
+type Params struct {
+	Cores int
+
+	L1 cachesim.Config
+	L2 cachesim.Config
+
+	L2LocalHitCycles  float64
+	L2RemoteHitCycles float64
+	MemLatencyCycles  float64
+
+	// BusOccupancy / MemOccupancy are the cycles each transfer holds the
+	// shared on-chip bus and off-chip memory port (the bandwidth model).
+	BusOccupancy float64
+	MemOccupancy float64
+
+	// Prefetch enables the per-LLC 16 kB stride prefetcher (§6.3).
+	Prefetch        bool
+	PrefetchEntries int
+	PrefetchDegree  int
+}
+
+// DefaultParams returns the paper's Table 2 machine with the geometry scale
+// divisor applied (DESIGN.md §5): scale 1 is the paper's exact machine,
+// scale 8 is the fast configuration used by tests and benches.
+func DefaultParams(cores, scale int) Params {
+	if scale < 1 {
+		panic(fmt.Sprintf("cmp: scale %d < 1", scale))
+	}
+	return Params{
+		Cores:             cores,
+		L1:                cachesim.Config{SizeBytes: 32 * 1024 / scale, Ways: 4, LineBytes: 32},
+		L2:                cachesim.Config{SizeBytes: 1024 * 1024 / scale, Ways: 8, LineBytes: 32},
+		L2LocalHitCycles:  9,
+		L2RemoteHitCycles: 25,
+		MemLatencyCycles:  460,
+		BusOccupancy:      4,
+		MemOccupancy:      16,
+		PrefetchEntries:   2048,
+		PrefetchDegree:    2,
+	}
+}
+
+// Validate checks the machine description.
+func (p Params) Validate() error {
+	if p.Cores <= 0 {
+		return fmt.Errorf("cmp: non-positive core count %d", p.Cores)
+	}
+	if err := p.L1.Validate(); err != nil {
+		return err
+	}
+	if err := p.L2.Validate(); err != nil {
+		return err
+	}
+	if p.L1.LineBytes != p.L2.LineBytes {
+		return fmt.Errorf("cmp: L1 line %dB != L2 line %dB", p.L1.LineBytes, p.L2.LineBytes)
+	}
+	return nil
+}
+
+// CoreTiming carries the per-benchmark timing-model parameters: the CPI of
+// non-memory work and the fraction of memory latency the out-of-order core
+// cannot hide (see internal/workload.Profile).
+type CoreTiming struct {
+	BaseCPI float64
+	Overlap float64
+}
+
+// CoreStats is everything measured for one core, frozen when the core
+// commits its instruction quota.
+type CoreStats struct {
+	Instructions uint64
+	Cycles       float64
+
+	L1Accesses uint64
+	L1Hits     uint64
+
+	L2Accesses   uint64 // demand accesses (L1 misses)
+	L2LocalHits  uint64
+	L2RemoteHits uint64
+	L2MemFills   uint64
+
+	LatencySum float64 // raw (un-overlapped) latency over demand L2 accesses
+	QueueDelay float64 // bus + memory queueing included in LatencySum
+
+	Writebacks uint64 // dirty evictions written to memory
+	OffChip    uint64 // memory fills + writebacks + prefetch fetches
+
+	SpillsOut uint64 // last-copy victims this cache pushed to a peer
+	SpillsIn  uint64 // guest lines accepted
+	Swaps     uint64 // §3.2 last-copy swaps performed on remote hits
+	SpillHits uint64 // remote hits served by lines this core had spilled
+
+	PrefIssued uint64
+	PrefUseful uint64
+
+	BusTransfers uint64
+}
+
+// CPI returns cycles per committed instruction.
+func (s CoreStats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return s.Cycles / float64(s.Instructions)
+}
+
+// IPC returns instructions per cycle.
+func (s CoreStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / s.Cycles
+}
+
+// MPKI returns L2 misses (remote hits and memory fills both miss the local
+// L2; the paper's L2 MPKI counts local misses) per kilo-instruction.
+func (s CoreStats) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.L2RemoteHits+s.L2MemFills) / float64(s.Instructions) * 1000
+}
+
+// LocalMPKI returns misses that left the chip per kilo-instruction.
+func (s CoreStats) LocalMPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.L2MemFills) / float64(s.Instructions) * 1000
+}
+
+// AML returns the average memory latency per demand L2 access, the paper's
+// Figure 10 metric (sequential-processing assumption).
+func (s CoreStats) AML() float64 {
+	if s.L2Accesses == 0 {
+		return 0
+	}
+	return s.LatencySum / float64(s.L2Accesses)
+}
+
+// Results is the outcome of one simulation.
+type Results struct {
+	Policy string
+	Cores  []CoreStats
+}
+
+// TotalOffChip sums off-chip accesses over the cores.
+func (r Results) TotalOffChip() uint64 {
+	var n uint64
+	for _, c := range r.Cores {
+		n += c.OffChip
+	}
+	return n
+}
+
+// Energy evaluates the memory-hierarchy energy model over the run.
+func (r Results) Energy(e mem.Energy) float64 {
+	var l2, bus, dram uint64
+	for _, c := range r.Cores {
+		l2 += c.L2Accesses + c.SpillsIn
+		bus += c.BusTransfers
+		dram += c.OffChip
+	}
+	return e.Total(l2, bus, dram)
+}
+
+// System is the private-LLC CMP.
+type System struct {
+	p      Params
+	policy coop.Policy
+	gens   []trace.Generator
+	timing []CoreTiming
+
+	l1s []*cachesim.Cache
+	l2s []*cachesim.Cache
+	pf  []*prefetch.Stride
+
+	bus     mem.Port
+	memPort mem.Port
+
+	clock      []float64
+	live       []CoreStats
+	frozen     []CoreStats
+	done       []bool
+	l2Accesses []uint64
+
+	lineShift uint
+}
+
+// New builds a system. gens and timing must have p.Cores entries; policy
+// must not be nil (use policies.NewBaseline() for the plain private LLC).
+func New(p Params, gens []trace.Generator, timing []CoreTiming, policy coop.Policy) (*System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gens) != p.Cores || len(timing) != p.Cores {
+		return nil, fmt.Errorf("cmp: %d cores but %d generators / %d timings", p.Cores, len(gens), len(timing))
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("cmp: nil policy")
+	}
+	s := &System{
+		p:          p,
+		policy:     policy,
+		gens:       gens,
+		timing:     timing,
+		l1s:        make([]*cachesim.Cache, p.Cores),
+		l2s:        make([]*cachesim.Cache, p.Cores),
+		bus:        mem.Port{Occupancy: p.BusOccupancy},
+		memPort:    mem.Port{Occupancy: p.MemOccupancy},
+		clock:      make([]float64, p.Cores),
+		live:       make([]CoreStats, p.Cores),
+		frozen:     make([]CoreStats, p.Cores),
+		done:       make([]bool, p.Cores),
+		l2Accesses: make([]uint64, p.Cores),
+	}
+	for i := 0; i < p.Cores; i++ {
+		s.l1s[i] = cachesim.New(p.L1)
+		s.l2s[i] = cachesim.New(p.L2)
+	}
+	if p.Prefetch {
+		s.pf = make([]*prefetch.Stride, p.Cores)
+		for i := range s.pf {
+			s.pf[i] = prefetch.NewStride(p.PrefetchEntries, p.PrefetchDegree)
+		}
+	}
+	for ls := uint(0); ls < 32; ls++ {
+		if 1<<ls == p.L2.LineBytes {
+			s.lineShift = ls
+			break
+		}
+	}
+	return s, nil
+}
+
+// L2 exposes core i's private LLC (tests, harness introspection).
+func (s *System) L2(i int) *cachesim.Cache { return s.l2s[i] }
+
+// Policy returns the active cooperation policy.
+func (s *System) Policy() coop.Policy { return s.policy }
+
+// Run simulates until every core has committed instrPerCore instructions.
+// Per the paper, a core that reaches its quota keeps executing (and keeps
+// disturbing the caches) until the last core finishes; its statistics are
+// frozen at the quota. Warmup instructions (statistics discarded, caches
+// warmed) are run first when warmup > 0.
+func (s *System) Run(warmup, instrPerCore uint64) Results {
+	if warmup > 0 {
+		s.runPhase(warmup)
+		for i := range s.live {
+			s.live[i] = CoreStats{}
+			s.clock[i] = 0
+			s.done[i] = false
+		}
+		s.bus.Reset()
+		s.memPort.Reset()
+	}
+	s.runPhase(instrPerCore)
+	res := Results{Policy: s.policy.Name(), Cores: make([]CoreStats, s.p.Cores)}
+	copy(res.Cores, s.frozen)
+	return res
+}
+
+// runPhase advances every core to the quota, interleaving by local time.
+func (s *System) runPhase(quota uint64) {
+	for {
+		c := -1
+		best := 0.0
+		for i := 0; i < s.p.Cores; i++ {
+			if !s.done[i] && (c == -1 || s.clock[i] < best) {
+				c = i
+				best = s.clock[i]
+			}
+		}
+		if c == -1 {
+			return
+		}
+		s.step(c, quota)
+	}
+}
+
+// step executes one reference (and its leading instruction gap) on core c.
+func (s *System) step(c int, quota uint64) {
+	ref := s.gens[c].Next()
+	st := &s.live[c]
+	t := s.timing[c]
+	instr := uint64(ref.Gap) + 1
+	st.Instructions += instr
+	s.clock[c] += float64(instr) * t.BaseCPI
+
+	lat := s.access(c, ref)
+	s.clock[c] += lat * t.Overlap
+	st.Cycles = s.clock[c]
+
+	if st.Instructions >= quota {
+		s.frozen[c] = *st
+		s.done[c] = true
+	}
+}
+
+// access runs one reference through the hierarchy and returns its raw
+// latency (before the overlap factor).
+func (s *System) access(c int, ref trace.Ref) float64 {
+	block := ref.Addr >> s.lineShift
+	st := &s.live[c]
+	st.L1Accesses++
+	if _, hit := s.l1s[c].Access(block); hit {
+		st.L1Hits++
+		if ref.Write {
+			s.writeThroughHit(c, block)
+		}
+		return 0 // L1 hit latency is folded into BaseCPI
+	}
+	return s.l2Demand(c, block, ref.Write)
+}
+
+// writeThroughHit propagates a store that hit the L1 to the inclusive L2:
+// the L2 copy is dirtied without touching recency or policy counters, and a
+// shared line is upgraded (invalidating remote copies) first.
+func (s *System) writeThroughHit(c int, block uint64) {
+	l2 := s.l2s[c]
+	w, ok := l2.Lookup(block)
+	if !ok {
+		panic(fmt.Sprintf("cmp: inclusion violated: block %#x in L1[%d] but not its L2", block, c))
+	}
+	line := l2.Line(l2.SetIndex(block), w)
+	if line.State == cachesim.Shared {
+		s.invalidateOthers(block, c)
+		s.live[c].BusTransfers++
+	}
+	line.State = cachesim.Modified
+	line.Dirty = true
+}
+
+// l2Demand handles an L1 miss: local L2, then the snoop bus, then memory.
+func (s *System) l2Demand(c int, block uint64, write bool) float64 {
+	st := &s.live[c]
+	l2 := s.l2s[c]
+	set := l2.SetIndex(block)
+	st.L2Accesses++
+	s.l2Accesses[c]++
+	w, hit := l2.Access(block)
+	s.policy.OnL2Access(c, set, hit)
+	defer s.policy.Tick(c, s.l2Accesses[c])
+
+	var lat float64
+	switch {
+	case hit:
+		line := l2.Line(set, w)
+		line.Reused = true
+		if line.Prefetch {
+			line.Prefetch = false
+			st.PrefUseful++
+		}
+		if write {
+			if line.State == cachesim.Shared {
+				s.invalidateOthers(block, c)
+				st.BusTransfers++
+			}
+			line.State = cachesim.Modified
+			line.Dirty = true
+		}
+		st.L2LocalHits++
+		lat = s.p.L2LocalHitCycles
+		s.fillL1(c, block)
+
+	default:
+		// Local miss: broadcast snoop on the bus.
+		qd := s.bus.Request(s.clock[c])
+		st.BusTransfers++
+		st.QueueDelay += qd
+		holders := s.findHolders(block, c)
+		if len(holders) > 0 {
+			lat = s.p.L2RemoteHitCycles + qd
+			st.L2RemoteHits++
+			s.remoteHit(c, block, set, holders, write)
+		} else {
+			mqd := s.memPort.Request(s.clock[c])
+			st.QueueDelay += mqd
+			lat = s.p.MemLatencyCycles + qd + mqd
+			st.L2MemFills++
+			st.OffChip++
+			state := cachesim.Exclusive
+			if write {
+				state = cachesim.Modified
+			}
+			s.insertAndEvict(c, block, cachesim.Line{State: state, Dirty: write, Owner: c})
+			s.fillL1(c, block)
+		}
+	}
+	st.LatencySum += lat
+	s.trainPrefetcher(c, block)
+	return lat
+}
+
+// remoteHit resolves a demand miss that found the line in one or more peer
+// LLCs. See DESIGN.md §2 for the protocol choices: spilled lines are served
+// in place (repeated 25-cycle remote hits, as in DSR); ASCC-family policies
+// migrate last copies home and swap a last-copy victim into the freed slot
+// (§3.2); genuinely shared lines replicate as in plain MESI.
+func (s *System) remoteHit(c int, block uint64, set int, holders []int, write bool) {
+	st := &s.live[c]
+	r := holders[0]
+	l2r := s.l2s[r]
+	rw, ok := l2r.Lookup(block)
+	if !ok {
+		panic("cmp: holder lost the line")
+	}
+	rl := *l2r.Line(set, rw)
+	lastCopy := len(holders) == 1
+
+	if rl.Spilled {
+		s.live[rl.Owner].SpillHits++
+	}
+
+	if write {
+		// Take ownership: every remote copy is invalidated and the data
+		// moves here. Dirty data travels with the line — no memory write.
+		for _, h := range holders {
+			s.l2s[h].Invalidate(block)
+			s.l1s[h].Invalidate(block)
+			st.BusTransfers++
+		}
+		proto := cachesim.Line{State: cachesim.Modified, Dirty: true, Reused: true, Owner: c}
+		if !(lastCopy && s.allocWithSwap(c, block, r, rw, proto)) {
+			s.insertAndEvict(c, block, proto)
+		}
+		s.fillL1(c, block)
+		return
+	}
+
+	if s.policy.SwapEnabled() && lastCopy {
+		// ASCC §3.2: migrate the last copy home; if the local victim is
+		// itself a last copy, swap it into the slot freed in the remote
+		// cache to keep both lines on chip.
+		s.l1s[r].Invalidate(block)
+		l2r.Invalidate(block)
+		state := cachesim.Exclusive
+		if rl.Dirty {
+			state = cachesim.Modified
+		}
+		proto := cachesim.Line{State: state, Dirty: rl.Dirty, Reused: true, Owner: rl.Owner}
+		if !s.allocWithSwap(c, block, r, rw, proto) {
+			s.insertAndEvict(c, block, proto)
+		}
+		s.fillL1(c, block)
+		st.BusTransfers++
+		return
+	}
+
+	if rl.Spilled {
+		// Serve in place: the guest line stays where it was spilled and is
+		// refreshed in its host set's recency stack.
+		l2r.Touch(set, rw)
+		l2r.Line(set, rw).Reused = true
+		st.BusTransfers++
+		return
+	}
+
+	// Plain MESI read sharing: downgrade the owner, replicate locally.
+	if rl.State == cachesim.Modified {
+		// M -> S requires the dirty data to reach memory.
+		mqd := s.memPort.Request(s.clock[c])
+		st.QueueDelay += mqd
+		s.live[r].Writebacks++
+		s.live[r].OffChip++
+		l2r.Line(set, rw).Dirty = false
+	}
+	l2r.Line(set, rw).State = cachesim.Shared
+	st.BusTransfers++
+	s.insertAndEvict(c, block, cachesim.Line{State: cachesim.Shared, Owner: c})
+	s.fillL1(c, block)
+}
+
+// allocWithSwap implements the §3.2 swap: if the policy has swapping
+// enabled and the victim the local fill would evict is a valid last copy,
+// the victim is placed into the way just freed in the remote cache (way rw
+// of cache r) and the requested line takes its place locally. Returns false
+// when the swap conditions do not hold (the caller falls back to a normal
+// fill).
+func (s *System) allocWithSwap(c int, block uint64, r, rw int, proto cachesim.Line) bool {
+	if !s.policy.SwapEnabled() {
+		return false
+	}
+	l2 := s.l2s[c]
+	set := l2.SetIndex(block)
+	if allow := s.policy.DemandVictimAllow(c, set); allow != nil {
+		return false // region-partitioned policies do not swap
+	}
+	vw := l2.VictimInSet(set)
+	victim := *l2.Line(set, vw)
+	if !victim.Valid() || !s.isLastCopy(victim.Tag, c) {
+		return false
+	}
+	// The remote way must still be free (Invalidate left it invalid).
+	ev := l2.InsertWay(block, vw, s.policy.InsertPos(c, set), proto)
+	if ev.Tag != victim.Tag {
+		panic("cmp: swap victim changed underfoot")
+	}
+	s.l1s[c].Invalidate(victim.Tag)
+	victim.Spilled = true
+	victim.Reused = false
+	s.l2s[r].InsertWay(victim.Tag, rw, cachesim.InsertLRU, victim)
+	s.live[c].Swaps++
+	s.live[c].BusTransfers++
+	return true
+}
+
+// insertAndEvict performs a fill into cache c, honouring the policy's
+// insertion position and victim-region restriction, and sends the evicted
+// line down the eviction path (which may spill it).
+func (s *System) insertAndEvict(c int, block uint64, proto cachesim.Line) {
+	l2 := s.l2s[c]
+	set := l2.SetIndex(block)
+	pos := s.policy.InsertPos(c, set)
+	var ev cachesim.Line
+	if allow := s.policy.DemandVictimAllow(c, set); allow != nil {
+		w := l2.VictimAmong(set, allow)
+		if w < 0 {
+			w = l2.VictimInSet(set)
+		}
+		ev = l2.InsertWay(block, w, pos, proto)
+	} else {
+		ev = l2.Insert(block, pos, proto)
+	}
+	s.handleEviction(c, set, ev, true)
+}
+
+// handleEviction routes an evicted line: back-invalidate the L1 (inclusion),
+// drop it silently if a peer still holds a copy, spill it if the policy
+// wants to (demand evictions only — spills do not cascade), else write it
+// back to memory when dirty.
+func (s *System) handleEviction(c, set int, ev cachesim.Line, allowSpill bool) {
+	if !ev.Valid() {
+		return
+	}
+	s.l1s[c].Invalidate(ev.Tag)
+	if !s.isLastCopy(ev.Tag, c) {
+		return
+	}
+	st := &s.live[c]
+	if allowSpill && !ev.Prefetch &&
+		(!ev.Spilled || s.policy.AllowRespill()) &&
+		s.policy.Role(c, set) == ssl.Spiller {
+		if !ev.Reused && !ev.Spilled && s.policy.SpillRequiresReuse() {
+			// The victim showed no locality: not worth a peer's way. The
+			// set still has a capacity problem, so take the §3.2 path.
+			s.policy.OnSpillFail(c, set)
+		} else {
+			for _, r := range s.policy.Receivers(c, set) {
+				if r != c && s.spillInto(c, r, set, ev) {
+					return
+				}
+			}
+			s.policy.OnSpillFail(c, set)
+		}
+	}
+	if ev.Dirty {
+		mqd := s.memPort.Request(s.clock[c])
+		st.QueueDelay += mqd
+		st.Writebacks++
+		st.OffChip++
+	}
+}
+
+// spillInto places a last-copy victim from cache c into the same-index set
+// of cache r. The receiver's own victim goes straight to memory (no spill
+// cascades). Returns false when the receiver has no eligible way (a dead-
+// line receiver whose lines are all live, or a full ECC shared region).
+func (s *System) spillInto(c, r, set int, ev cachesim.Line) bool {
+	l2r := s.l2s[r]
+	pos := s.policy.SpillInsertPos(r, set, ev.Reused)
+	proto := ev
+	proto.Spilled = true
+	proto.Prefetch = false
+	proto.Reused = false
+	var ev2 cachesim.Line
+	switch s.policy.GuestVictim() {
+	case coop.GuestDeadLines:
+		w, ok := l2r.VictimDead(set)
+		if !ok {
+			return false
+		}
+		ev2 = l2r.InsertWay(ev.Tag, w, pos, proto)
+	case coop.GuestRegion:
+		allow := s.policy.SpillVictimAllow(r, set)
+		w := l2r.VictimAmong(set, allow)
+		if w < 0 {
+			return false
+		}
+		ev2 = l2r.InsertWay(ev.Tag, w, pos, proto)
+	default:
+		ev2 = l2r.Insert(ev.Tag, pos, proto)
+	}
+	s.handleEviction(r, set, ev2, false)
+	s.bus.Request(s.clock[c])
+	s.live[c].SpillsOut++
+	s.live[c].BusTransfers++
+	s.live[r].SpillsIn++
+	return true
+}
+
+// fillL1 installs a block in core c's L1 (evictions are clean: the L1 is
+// write-through).
+func (s *System) fillL1(c int, block uint64) {
+	l1 := s.l1s[c]
+	if _, ok := l1.Lookup(block); ok {
+		return
+	}
+	l1.Insert(block, cachesim.InsertMRU, cachesim.Line{State: cachesim.Exclusive, Owner: c})
+}
+
+// trainPrefetcher feeds the demand stream to core c's stride prefetcher and
+// performs the proposed fetches (skipping blocks already on chip).
+func (s *System) trainPrefetcher(c int, block uint64) {
+	if s.pf == nil {
+		return
+	}
+	st := &s.live[c]
+	for _, pb := range s.pf[c].Observe(block) {
+		if _, ok := s.l2s[c].Lookup(pb); ok {
+			continue
+		}
+		if len(s.findHolders(pb, c)) > 0 {
+			continue // already on chip in a peer cache
+		}
+		s.bus.Request(s.clock[c])
+		s.memPort.Request(s.clock[c])
+		st.PrefIssued++
+		st.OffChip++
+		st.BusTransfers++
+		s.insertAndEvict(c, pb, cachesim.Line{State: cachesim.Exclusive, Prefetch: true, Owner: c})
+	}
+}
+
+// invalidateOthers removes block from every L1 and L2 except core c's (the
+// write-upgrade path of MESI).
+func (s *System) invalidateOthers(block uint64, c int) {
+	for i := 0; i < s.p.Cores; i++ {
+		if i == c {
+			continue
+		}
+		s.l2s[i].Invalidate(block)
+		s.l1s[i].Invalidate(block)
+	}
+}
+
+// findHolders returns the peer caches holding block (excluding cache c).
+func (s *System) findHolders(block uint64, c int) []int {
+	var out []int
+	for i := 0; i < s.p.Cores; i++ {
+		if i == c {
+			continue
+		}
+		if _, ok := s.l2s[i].Lookup(block); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// isLastCopy reports whether no cache other than exclude holds block.
+func (s *System) isLastCopy(block uint64, exclude int) bool {
+	for i := 0; i < s.p.Cores; i++ {
+		if i == exclude {
+			continue
+		}
+		if _, ok := s.l2s[i].Lookup(block); ok {
+			return false
+		}
+	}
+	return true
+}

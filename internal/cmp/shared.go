@@ -1,0 +1,227 @@
+package cmp
+
+import (
+	"fmt"
+
+	"ascc/internal/cachesim"
+	"ascc/internal/mem"
+	"ascc/internal/trace"
+)
+
+// SharedParams describes the shared-LLC alternative the paper simulates in
+// §6.1: one LLC of the private caches' aggregate capacity, banked and
+// address-interleaved, accessed by every core at a uniform average latency
+// (≈2× the private local-hit latency for 2 cores, ≈4× for 4).
+type SharedParams struct {
+	Cores int
+
+	L1 cachesim.Config
+	L2 cachesim.Config // the aggregate shared cache
+
+	HitCycles        float64 // average banked-access latency
+	MemLatencyCycles float64
+	MemOccupancy     float64
+}
+
+// DefaultSharedParams mirrors DefaultParams with the aggregate shared LLC:
+// capacity scales with the core count and the average hit latency follows
+// the paper's "almost twice / almost four times" description.
+func DefaultSharedParams(cores, scale int) SharedParams {
+	p := DefaultParams(cores, scale)
+	hit := p.L2LocalHitCycles * float64(cores)
+	if hit < 2*p.L2LocalHitCycles {
+		hit = 2 * p.L2LocalHitCycles
+	}
+	return SharedParams{
+		Cores: cores,
+		L1:    p.L1,
+		L2: cachesim.Config{
+			SizeBytes: p.L2.SizeBytes * cores,
+			Ways:      p.L2.Ways,
+			LineBytes: p.L2.LineBytes,
+		},
+		HitCycles:        hit,
+		MemLatencyCycles: p.MemLatencyCycles,
+		MemOccupancy:     p.MemOccupancy,
+	}
+}
+
+// SharedSystem simulates the shared-LLC CMP. All caches are write-back in
+// this configuration (paper §6.1).
+type SharedSystem struct {
+	p      SharedParams
+	gens   []trace.Generator
+	timing []CoreTiming
+
+	l1s []*cachesim.Cache
+	l2  *cachesim.Cache
+
+	memPort mem.Port
+
+	clock  []float64
+	live   []CoreStats
+	frozen []CoreStats
+	done   []bool
+
+	lineShift uint
+}
+
+// NewShared builds the shared-LLC system.
+func NewShared(p SharedParams, gens []trace.Generator, timing []CoreTiming) (*SharedSystem, error) {
+	if p.Cores <= 0 {
+		return nil, fmt.Errorf("cmp: non-positive core count %d", p.Cores)
+	}
+	if err := p.L1.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.L2.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gens) != p.Cores || len(timing) != p.Cores {
+		return nil, fmt.Errorf("cmp: %d cores but %d generators / %d timings", p.Cores, len(gens), len(timing))
+	}
+	s := &SharedSystem{
+		p:       p,
+		gens:    gens,
+		timing:  timing,
+		l1s:     make([]*cachesim.Cache, p.Cores),
+		l2:      cachesim.New(p.L2),
+		memPort: mem.Port{Occupancy: p.MemOccupancy},
+		clock:   make([]float64, p.Cores),
+		live:    make([]CoreStats, p.Cores),
+		frozen:  make([]CoreStats, p.Cores),
+		done:    make([]bool, p.Cores),
+	}
+	for i := range s.l1s {
+		s.l1s[i] = cachesim.New(p.L1)
+	}
+	for ls := uint(0); ls < 32; ls++ {
+		if 1<<ls == p.L2.LineBytes {
+			s.lineShift = ls
+			break
+		}
+	}
+	return s, nil
+}
+
+// Run mirrors System.Run for the shared configuration.
+func (s *SharedSystem) Run(warmup, instrPerCore uint64) Results {
+	if warmup > 0 {
+		s.runPhase(warmup)
+		for i := range s.live {
+			s.live[i] = CoreStats{}
+			s.clock[i] = 0
+			s.done[i] = false
+		}
+		s.memPort.Reset()
+	}
+	s.runPhase(instrPerCore)
+	res := Results{Policy: "shared-LLC", Cores: make([]CoreStats, s.p.Cores)}
+	copy(res.Cores, s.frozen)
+	return res
+}
+
+func (s *SharedSystem) runPhase(quota uint64) {
+	for {
+		c := -1
+		best := 0.0
+		for i := 0; i < s.p.Cores; i++ {
+			if !s.done[i] && (c == -1 || s.clock[i] < best) {
+				c = i
+				best = s.clock[i]
+			}
+		}
+		if c == -1 {
+			return
+		}
+		ref := s.gens[c].Next()
+		st := &s.live[c]
+		t := s.timing[c]
+		instr := uint64(ref.Gap) + 1
+		st.Instructions += instr
+		s.clock[c] += float64(instr) * t.BaseCPI
+		lat := s.access(c, ref)
+		s.clock[c] += lat * t.Overlap
+		st.Cycles = s.clock[c]
+		if st.Instructions >= quota {
+			s.frozen[c] = *st
+			s.done[c] = true
+		}
+	}
+}
+
+func (s *SharedSystem) access(c int, ref trace.Ref) float64 {
+	block := ref.Addr >> s.lineShift
+	st := &s.live[c]
+	st.L1Accesses++
+	if _, hit := s.l1s[c].Access(block); hit {
+		st.L1Hits++
+		if ref.Write {
+			s.writeThrough(c, block)
+		}
+		return 0
+	}
+	st.L2Accesses++
+	w, hit := s.l2.Access(block)
+	var lat float64
+	if hit {
+		line := s.l2.Line(s.l2.SetIndex(block), w)
+		if ref.Write {
+			s.invalidatePeerL1s(block, c)
+			line.Dirty = true
+			line.State = cachesim.Modified
+		}
+		st.L2LocalHits++
+		lat = s.p.HitCycles
+	} else {
+		mqd := s.memPort.Request(s.clock[c])
+		st.QueueDelay += mqd
+		lat = s.p.MemLatencyCycles + mqd
+		st.L2MemFills++
+		st.OffChip++
+		state := cachesim.Exclusive
+		if ref.Write {
+			state = cachesim.Modified
+			s.invalidatePeerL1s(block, c)
+		}
+		ev := s.l2.Insert(block, cachesim.InsertMRU, cachesim.Line{State: state, Dirty: ref.Write, Owner: c})
+		if ev.Valid() {
+			// Inclusion: back-invalidate every L1.
+			for i := range s.l1s {
+				s.l1s[i].Invalidate(ev.Tag)
+			}
+			if ev.Dirty {
+				mq := s.memPort.Request(s.clock[c])
+				st.QueueDelay += mq
+				st.Writebacks++
+				st.OffChip++
+			}
+		}
+	}
+	if _, ok := s.l1s[c].Lookup(block); !ok {
+		s.l1s[c].Insert(block, cachesim.InsertMRU, cachesim.Line{State: cachesim.Exclusive, Owner: c})
+	}
+	st.LatencySum += lat
+	return lat
+}
+
+// writeThrough propagates an L1 store hit into the shared L2 and keeps peer
+// L1s coherent.
+func (s *SharedSystem) writeThrough(c int, block uint64) {
+	w, ok := s.l2.Lookup(block)
+	if !ok {
+		panic(fmt.Sprintf("cmp: inclusion violated: block %#x in L1[%d] but not the shared L2", block, c))
+	}
+	s.invalidatePeerL1s(block, c)
+	line := s.l2.Line(s.l2.SetIndex(block), w)
+	line.Dirty = true
+	line.State = cachesim.Modified
+}
+
+func (s *SharedSystem) invalidatePeerL1s(block uint64, c int) {
+	for i := range s.l1s {
+		if i != c {
+			s.l1s[i].Invalidate(block)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package coop
+
+import (
+	"testing"
+
+	"ascc/internal/cachesim"
+	"ascc/internal/ssl"
+)
+
+// compile-time check that Base satisfies everything but Name.
+type named struct {
+	Base
+}
+
+func (named) Name() string { return "named" }
+
+var _ Policy = named{}
+
+func TestBaseDefaults(t *testing.T) {
+	var b named
+	b.OnL2Access(0, 0, true) // must not panic
+	b.OnSpillFail(0, 0)
+	b.Tick(0, 12345)
+	if b.Role(0, 0) != ssl.Neutral {
+		t.Fatal("base role not neutral")
+	}
+	if b.Receivers(0, 0) != nil {
+		t.Fatal("base offers receivers")
+	}
+	if b.InsertPos(0, 0) != cachesim.InsertMRU {
+		t.Fatal("base insert not MRU")
+	}
+	if b.SpillInsertPos(0, 0, true) != cachesim.InsertMRU {
+		t.Fatal("base spill insert not MRU")
+	}
+	if b.AllowRespill() || b.SwapEnabled() {
+		t.Fatal("base enables cooperative features")
+	}
+	if b.DemandVictimAllow(0, 0) != nil || b.SpillVictimAllow(0, 0) != nil {
+		t.Fatal("base restricts victims")
+	}
+	if b.GuestVictim() != GuestAnyLRU {
+		t.Fatal("base guest victim mode wrong")
+	}
+}
+
+func TestGuestVictimModes(t *testing.T) {
+	if GuestAnyLRU == GuestDeadLines || GuestDeadLines == GuestRegion {
+		t.Fatal("guest victim modes not distinct")
+	}
+}

@@ -1,0 +1,120 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPaperGeometry(t *testing.T) {
+	g := PaperGeometry()
+	if g.Sets() != 4096 {
+		t.Fatalf("sets = %d, want 4096", g.Sets())
+	}
+	if g.Lines() != 32768 {
+		t.Fatalf("lines = %d, want 32768 (Table 5)", g.Lines())
+	}
+	// Table 5: tag = 42 - log2(4096) - log2(32) = 25 bits; entry = 30 bits.
+	if g.TagEntryBits() != 30 {
+		t.Fatalf("tag entry = %d bits, want 30", g.TagEntryBits())
+	}
+	// Table 5: tag store 120 kB = 30 bits * 32768 entries.
+	if got := g.TagStoreBits(); got != 30*32768 {
+		t.Fatalf("tag store = %d bits", got)
+	}
+	if kb := float64(g.TagStoreBits()) / 8 / 1024; kb != 120 {
+		t.Fatalf("tag store = %v kB, want 120", kb)
+	}
+	if g.DataStoreBits() != 8<<20 {
+		t.Fatalf("data store = %d bits", g.DataStoreBits())
+	}
+	// Baseline total = 1144 kB (Table 5).
+	if kb := float64(g.BaselineTotalBits()) / 8 / 1024; kb != 1144 {
+		t.Fatalf("baseline total = %v kB, want 1144", kb)
+	}
+}
+
+func TestAVGCCTable5(t *testing.T) {
+	r := AVGCCReport(PaperGeometry(), 0)
+	// Table 5: 5 bits per set * 4096 sets = 2560 B, plus A+B+D = 28 bits.
+	wantBits := 4096*5 + 28
+	if r.TotalOverheadBits() != wantBits {
+		t.Fatalf("AVGCC overhead = %d bits, want %d", r.TotalOverheadBits(), wantBits)
+	}
+	bytes := float64(r.TotalOverheadBits()) / 8
+	if math.Abs(bytes-2563.5) > 0.01 {
+		t.Fatalf("AVGCC overhead = %v B, want 2560B + ~4B", bytes)
+	}
+	// Exact fraction: 20508 bits over 1144 kB = 0.219%.
+	if pct := 100 * r.OverheadFraction(); math.Abs(pct-0.219) > 0.002 {
+		t.Fatalf("AVGCC exact overhead = %.3f%%, want ~0.219%%", pct)
+	}
+	// Table 5 reports 0.17% because it rounds to whole kilobytes
+	// (1146 kB vs 1144 kB).
+	if pct := r.PaperRoundedPercent(); math.Abs(pct-0.175) > 0.01 {
+		t.Fatalf("AVGCC rounded overhead = %.3f%%, want ~0.17%% (Table 5)", pct)
+	}
+}
+
+func TestASCCOverheadSlightlyBelowAVGCC(t *testing.T) {
+	g := PaperGeometry()
+	ascc := ASCCReport(g).TotalOverheadBits()
+	avgcc := AVGCCReport(g, 0).TotalOverheadBits()
+	if avgcc-ascc != 28 {
+		t.Fatalf("AVGCC - ASCC = %d bits, want 28 (A, B, D counters)", avgcc-ascc)
+	}
+}
+
+func TestLimitedCounters(t *testing.T) {
+	g := PaperGeometry()
+	// §7: limiting to 128 counters needs only 83 B; 2048 counters 1284 B.
+	r128 := AVGCCReport(g, 128)
+	if b := float64(r128.TotalOverheadBits()) / 8; math.Abs(b-83.5) > 1 {
+		t.Fatalf("128-counter overhead = %v B, want ~83 B (paper §7)", b)
+	}
+	r2048 := AVGCCReport(g, 2048)
+	if b := float64(r2048.TotalOverheadBits()) / 8; math.Abs(b-1283.5) > 1 {
+		t.Fatalf("2048-counter overhead = %v B, want ~1284 B (paper §7)", b)
+	}
+	// A cap above the set count is a no-op.
+	if AVGCCReport(g, 1<<20).TotalOverheadBits() != AVGCCReport(g, 0).TotalOverheadBits() {
+		t.Fatal("oversized cap changed the report")
+	}
+}
+
+func TestQoSOverhead(t *testing.T) {
+	// §8: QoS-AVGCC is 0.35% at the finest granularity.
+	r := QoSAVGCCReport(PaperGeometry())
+	if pct := 100 * r.OverheadFraction(); math.Abs(pct-0.35) > 0.03 {
+		t.Fatalf("QoS overhead = %.3f%%, want ~0.35%%", pct)
+	}
+}
+
+func TestDSRReportTiny(t *testing.T) {
+	r := DSRReport(PaperGeometry())
+	if r.TotalOverheadBits() != 10 {
+		t.Fatalf("DSR overhead = %d bits, want 10", r.TotalOverheadBits())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := AVGCCReport(PaperGeometry(), 0).String()
+	for _, want := range []string{"4096 sets", "saturation counters", "0.22%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestScaling(t *testing.T) {
+	// Overhead percentage is essentially size-independent for fixed
+	// ways/line (Table 4 reports the same 0.17% at 1, 2 and 4 MB; the exact
+	// fraction is ~0.22% at each size).
+	for _, size := range []int{1 << 20, 2 << 20, 4 << 20} {
+		g := CacheGeometry{SizeBytes: size, Ways: 8, LineBytes: 32, AddressBits: 42}
+		pct := 100 * AVGCCReport(g, 0).OverheadFraction()
+		if math.Abs(pct-0.22) > 0.02 {
+			t.Fatalf("size %d: overhead %.3f%%, want ~0.22%%", size, pct)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"ascc/internal/harness"
+	"ascc/internal/metrics"
+	"ascc/internal/policies"
+	"ascc/internal/workload"
+)
+
+// Ablation studies the implementation choices DESIGN.md §6 makes where the
+// paper is silent: guest placement (by-reuse vs always-MRU vs always-LRU-1
+// vs always-LRU), dead-line guest admission, and the §3.2 swap. It runs
+// ASCC variants over the 4-core mixes and reports weighted-speedup
+// geomeans.
+func Ablation(cfg harness.Config) (Result, error) {
+	r := harness.NewRunner(cfg)
+	sets, ways := cfg.L2Geometry()
+
+	base := func() policies.ASCCConfig {
+		return policies.ASCCConfig{
+			Caches: 4, Sets: sets, Assoc: ways,
+			Capacity: policies.CapacitySABIP, Epsilon: 1.0 / 32.0,
+			Swap: true, Seed: cfg.Seed,
+		}
+	}
+	variants := []struct {
+		name string
+		mk   func() policies.ASCCConfig
+	}{
+		{"ASCC (by-reuse guests)", base},
+		{"guests always MRU", func() policies.ASCCConfig {
+			c := base()
+			c.SpillPlacement = policies.SpillMRU
+			return c
+		}},
+		{"guests always LRU-1", func() policies.ASCCConfig {
+			c := base()
+			c.SpillPlacement = policies.SpillLRU1
+			return c
+		}},
+		{"guests always LRU", func() policies.ASCCConfig {
+			c := base()
+			c.SpillPlacement = policies.SpillLRU
+			return c
+		}},
+		{"no swap", func() policies.ASCCConfig {
+			c := base()
+			c.Swap = false
+			return c
+		}},
+		{"no capacity response", func() policies.ASCCConfig {
+			c := base()
+			c.Capacity = policies.CapacityNone
+			return c
+		}},
+		{"spill any victim", func() policies.ASCCConfig {
+			c := base()
+			c.SpillAnyVictim = true
+			return c
+		}},
+	}
+
+	res := Result{ID: "ablation"}
+	res.Table = harness.Table{
+		Title:  "Design-choice ablations on ASCC (4 cores, geomean over the Table 1 mixes)",
+		Header: []string{"variant", "speedup improvement"},
+		Notes: []string{
+			"ablates the choices of DESIGN.md §6 the paper leaves open",
+		},
+	}
+	for _, v := range variants {
+		var imps []float64
+		for _, mix := range workload.FourAppMixes() {
+			alone, err := r.AloneCPIs(mix)
+			if err != nil {
+				return Result{}, err
+			}
+			baseRun, err := r.RunMix(mix, harness.PBaseline)
+			if err != nil {
+				return Result{}, err
+			}
+			pol := policies.NewASCCVariant(v.name, v.mk())
+			run, err := r.RunMixWith(mix, pol)
+			if err != nil {
+				return Result{}, err
+			}
+			imps = append(imps, metrics.Improvement(
+				metrics.WeightedSpeedup(metrics.CPIs(run), alone),
+				metrics.WeightedSpeedup(metrics.CPIs(baseRun), alone)))
+		}
+		g := metrics.GeomeanImprovement(imps)
+		res.Table.Rows = append(res.Table.Rows, []string{v.name, harness.Pct(g)})
+		res.set(v.name, g)
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each Fig*/Table* function runs the required simulations
+// through a harness.Runner and returns a Result holding a renderable text
+// table plus the headline numbers (for tests, benches and EXPERIMENTS.md).
+//
+// The mapping from experiment to paper artefact is indexed in DESIGN.md §4.
+package experiments
+
+import (
+	"fmt"
+
+	"ascc/internal/harness"
+	"ascc/internal/metrics"
+)
+
+// Result is one reproduced table or figure.
+type Result struct {
+	ID     string // "fig7", "table1", ...
+	Table  harness.Table
+	Values map[string]float64 // headline numbers, e.g. "geomean/AVGCC"
+}
+
+// set records a headline value.
+func (r *Result) set(key string, v float64) {
+	if r.Values == nil {
+		r.Values = map[string]float64{}
+	}
+	r.Values[key] = v
+}
+
+// speedupImprovement computes a policy's weighted-speedup improvement over
+// the baseline for one mix.
+func speedupImprovement(r *harness.Runner, mix []int, id harness.PolicyID) (float64, error) {
+	alone, err := r.AloneCPIs(mix)
+	if err != nil {
+		return 0, err
+	}
+	base, err := r.RunMix(mix, harness.PBaseline)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.RunMix(mix, id)
+	if err != nil {
+		return 0, err
+	}
+	wsBase := metrics.WeightedSpeedup(metrics.CPIs(base), alone)
+	ws := metrics.WeightedSpeedup(metrics.CPIs(res), alone)
+	return metrics.Improvement(ws, wsBase), nil
+}
+
+// All runs the complete reproduction suite in paper order.
+func All(cfg harness.Config) ([]Result, error) {
+	type runner func(harness.Config) (Result, error)
+	steps := []runner{
+		Fig1, Fig2, Fig4, Fig5, Table1,
+		Fig7, Fig8, Fig9, SharedLLC, Fig10,
+		Multithreaded, Prefetcher, Table4, SpillBehavior,
+		LimitedCounters, Fig11, Table5, Ablation, FutureWork,
+	}
+	out := make([]Result, 0, len(steps))
+	for _, st := range steps {
+		res, err := st(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ByID runs a single experiment by its identifier.
+func ByID(cfg harness.Config, id string) (Result, error) {
+	m := map[string]func(harness.Config) (Result, error){
+		"fig1":       Fig1,
+		"fig2":       Fig2,
+		"fig4":       Fig4,
+		"fig5":       Fig5,
+		"table1":     Table1,
+		"fig7":       Fig7,
+		"fig8":       Fig8,
+		"fig9":       Fig9,
+		"shared":     SharedLLC,
+		"fig10":      Fig10,
+		"mt":         Multithreaded,
+		"prefetch":   Prefetcher,
+		"table4":     Table4,
+		"spills":     SpillBehavior,
+		"limited":    LimitedCounters,
+		"fig11":      Fig11,
+		"table5":     Table5,
+		"ablation":   Ablation,
+		"futurework": FutureWork,
+	}
+	fn, ok := m[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (see DESIGN.md §4)", id)
+	}
+	return fn(cfg)
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"fig1", "fig2", "fig4", "fig5", "table1",
+		"fig7", "fig8", "fig9", "shared", "fig10",
+		"mt", "prefetch", "table4", "spills",
+		"limited", "fig11", "table5", "ablation", "futurework",
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"ascc/internal/harness"
+	"ascc/internal/metrics"
+	"ascc/internal/policies"
+	"ascc/internal/workload"
+)
+
+// FutureWork explores the paper's closing research directions ("tuning the
+// size and limits of saturation counters, as well as exploring other
+// metrics"): ASCC with saturation ceilings from K+2 to 4K-1, and ASCC with
+// the miss-ratio EWMA metric instead of saturating counters.
+func FutureWork(cfg harness.Config) (Result, error) {
+	r := harness.NewRunner(cfg)
+	sets, ways := cfg.L2Geometry()
+
+	variants := []struct {
+		name string
+		mk   func() *policies.ASCC
+	}{
+		{"SSL ceiling K+2", func() *policies.ASCC {
+			c := asccBase(sets, ways, cfg.Seed)
+			c.SSLMax = ways + 2
+			return policies.NewASCCVariant("ASCC-maxK+2", c)
+		}},
+		{"SSL ceiling 3K/2", func() *policies.ASCC {
+			c := asccBase(sets, ways, cfg.Seed)
+			c.SSLMax = ways + ways/2
+			return policies.NewASCCVariant("ASCC-max3K/2", c)
+		}},
+		{"SSL ceiling 2K-1 (paper)", func() *policies.ASCC {
+			return policies.NewASCCVariant("ASCC", asccBase(sets, ways, cfg.Seed))
+		}},
+		{"SSL ceiling 4K-1", func() *policies.ASCC {
+			c := asccBase(sets, ways, cfg.Seed)
+			c.SSLMax = 4*ways - 1
+			return policies.NewASCCVariant("ASCC-max4K-1", c)
+		}},
+		{"EWMA miss-ratio metric", func() *policies.ASCC {
+			c := asccBase(sets, ways, cfg.Seed)
+			c.EWMA = true
+			return policies.NewASCCVariant("ASCC-EWMA", c)
+		}},
+	}
+
+	res := Result{ID: "futurework"}
+	res.Table = harness.Table{
+		Title:  "Future work (§9): counter limits and alternative metrics (4 cores)",
+		Header: []string{"variant", "speedup improvement"},
+		Notes: []string{
+			"the paper proposes tuning the saturation-counter limits and exploring other metrics",
+		},
+	}
+	for _, v := range variants {
+		var imps []float64
+		for _, mix := range workload.FourAppMixes() {
+			alone, err := r.AloneCPIs(mix)
+			if err != nil {
+				return Result{}, err
+			}
+			base, err := r.RunMix(mix, harness.PBaseline)
+			if err != nil {
+				return Result{}, err
+			}
+			run, err := r.RunMixWith(mix, v.mk())
+			if err != nil {
+				return Result{}, err
+			}
+			imps = append(imps, metrics.Improvement(
+				metrics.WeightedSpeedup(metrics.CPIs(run), alone),
+				metrics.WeightedSpeedup(metrics.CPIs(base), alone)))
+		}
+		g := metrics.GeomeanImprovement(imps)
+		res.Table.Rows = append(res.Table.Rows, []string{v.name, harness.Pct(g)})
+		res.set(v.name, g)
+	}
+	return res, nil
+}
+
+// asccBase is the published ASCC configuration for the future-work sweeps.
+func asccBase(sets, ways int, seed uint64) policies.ASCCConfig {
+	return policies.ASCCConfig{
+		Caches: 4, Sets: sets, Assoc: ways,
+		Capacity: policies.CapacitySABIP, Epsilon: 1.0 / 32.0,
+		Swap: true, Seed: seed,
+	}
+}

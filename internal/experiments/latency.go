@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ascc/internal/harness"
+	"ascc/internal/metrics"
+	"ascc/internal/workload"
+)
+
+// Fig10 reproduces Figure 10: average-memory-latency improvement over the
+// baseline with the local/remote/memory access breakdown, on the 2-core
+// mixes, plus the 4-core geomean summary the paper gives in the text.
+func Fig10(cfg harness.Config) (Result, error) {
+	r := harness.NewRunner(cfg)
+	pols := []harness.PolicyID{harness.PDSR, harness.PDSRDIP, harness.PECC, harness.PASCC, harness.PAVGCC}
+	res := Result{ID: "fig10"}
+	res.Table = harness.Table{
+		Title:  "Figure 10: AML improvement and access breakdown (2 cores)",
+		Header: []string{"workload", "policy", "AML impr", "local%", "remote%", "memory%"},
+		Notes: []string{
+			"AML treats accesses as sequentially processed (paper §6.2); L1 hits excluded",
+			"paper 2-core geomeans: DSR +5%, DSR+DIP +12%, ECC +1%, ASCC +18%, AVGCC +22%",
+		},
+	}
+	per := make(map[harness.PolicyID][]float64)
+	for _, mix := range workload.TwoAppMixes() {
+		base, err := r.RunMix(mix, harness.PBaseline)
+		if err != nil {
+			return Result{}, err
+		}
+		bb := metrics.BreakdownOf(base)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			workload.MixName(mix), "baseline", "-",
+			fmt.Sprintf("%.0f", 100*bb.LocalFrac),
+			fmt.Sprintf("%.0f", 100*bb.RemoteFrac),
+			fmt.Sprintf("%.0f", 100*bb.MemoryFrac),
+		})
+		for _, p := range pols {
+			run, err := r.RunMix(mix, p)
+			if err != nil {
+				return Result{}, err
+			}
+			b := metrics.BreakdownOf(run)
+			// Improvement = latency reduction: positive when AML dropped.
+			imp := 1 - b.AML/bb.AML
+			per[p] = append(per[p], imp)
+			res.Table.Rows = append(res.Table.Rows, []string{
+				"", string(p), harness.Pct(imp),
+				fmt.Sprintf("%.0f", 100*b.LocalFrac),
+				fmt.Sprintf("%.0f", 100*b.RemoteFrac),
+				fmt.Sprintf("%.0f", 100*b.MemoryFrac),
+			})
+		}
+	}
+	geo := []string{"geomean", "", "", "", "", ""}
+	res.Table.Rows = append(res.Table.Rows, geo)
+	for _, p := range pols {
+		g := metrics.GeomeanImprovement(per[p])
+		res.set("aml2/"+string(p), g)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			"", string(p), harness.Pct(g), "", "", "",
+		})
+	}
+	// The 4-core AML summary (paper: DSR 10%, DSR+DIP 14%, ECC 11%,
+	// ASCC 21%, AVGCC 27%).
+	per4 := make(map[harness.PolicyID][]float64)
+	for _, mix := range workload.FourAppMixes() {
+		base, err := r.RunMix(mix, harness.PBaseline)
+		if err != nil {
+			return Result{}, err
+		}
+		bb := metrics.BreakdownOf(base)
+		for _, p := range pols {
+			run, err := r.RunMix(mix, p)
+			if err != nil {
+				return Result{}, err
+			}
+			per4[p] = append(per4[p], 1-metrics.BreakdownOf(run).AML/bb.AML)
+		}
+	}
+	res.Table.Rows = append(res.Table.Rows, []string{"geomean-4core", "", "", "", "", ""})
+	for _, p := range pols {
+		g := metrics.GeomeanImprovement(per4[p])
+		res.set("aml4/"+string(p), g)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			"", string(p), harness.Pct(g), "", "", "",
+		})
+	}
+	return res, nil
+}
+
+// SpillBehavior reproduces §6.4: total spill transfers and hits per spilled
+// line for AVGCC against DSR+DIP and ECC, on 2- and 4-core mixes.
+func SpillBehavior(cfg harness.Config) (Result, error) {
+	r := harness.NewRunner(cfg)
+	pols := []harness.PolicyID{harness.PDSRDIP, harness.PECC, harness.PASCC, harness.PAVGCC}
+	res := Result{ID: "spills"}
+	res.Table = harness.Table{
+		Title:  "§6.4: spill volume and hits per spilled line",
+		Header: []string{"cores", "policy", "spills", "spill hits", "hits/spill"},
+		Notes: []string{
+			"paper: AVGCC performs 13%/28% fewer spills than the next-best policy and earns 28%/36% more hits per spill (2/4 cores)",
+		},
+	}
+	for _, group := range []struct {
+		cores int
+		mixes [][]int
+	}{
+		{2, workload.TwoAppMixes()},
+		{4, workload.FourAppMixes()},
+	} {
+		totals := map[harness.PolicyID]metrics.SpillStats{}
+		for _, mix := range group.mixes {
+			for _, p := range pols {
+				run, err := r.RunMix(mix, p)
+				if err != nil {
+					return Result{}, err
+				}
+				s := metrics.SpillStatsOf(run)
+				agg := totals[p]
+				agg.Spills += s.Spills
+				agg.SpillHits += s.SpillHits
+				totals[p] = agg
+			}
+		}
+		for _, p := range pols {
+			s := totals[p]
+			hps := 0.0
+			if s.Spills > 0 {
+				hps = float64(s.SpillHits) / float64(s.Spills)
+			}
+			res.Table.Rows = append(res.Table.Rows, []string{
+				fmt.Sprintf("%d", group.cores), string(p),
+				fmt.Sprintf("%d", s.Spills), fmt.Sprintf("%d", s.SpillHits),
+				fmt.Sprintf("%.3f", hps),
+			})
+			res.set(fmt.Sprintf("hitsPerSpill%d/%s", group.cores, p), hps)
+			res.set(fmt.Sprintf("spills%d/%s", group.cores, p), float64(s.Spills))
+		}
+	}
+	return res, nil
+}

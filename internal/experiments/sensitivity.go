@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ascc/internal/cmp"
+	"ascc/internal/cost"
+	"ascc/internal/harness"
+	"ascc/internal/metrics"
+	"ascc/internal/policies"
+	"ascc/internal/workload"
+)
+
+// Multithreaded reproduces the §6.3 multithreaded study: SPLASH2/PARSEC-like
+// 4-thread workloads on a reduced 512 kB LLC; the metric is the reduction in
+// execution time (completion time of the slowest thread) over the baseline.
+func Multithreaded(cfg harness.Config) (Result, error) {
+	cfg.L2SizeBytes = 512 * 1024 // paper-scale; harness divides by Scale
+	r := harness.NewRunner(cfg)
+	pols := []harness.PolicyID{harness.PDSR, harness.PECC, harness.PASCC, harness.PAVGCC}
+	res := Result{ID: "mt"}
+	header := []string{"workload"}
+	for _, p := range pols {
+		header = append(header, string(p))
+	}
+	res.Table = harness.Table{
+		Title:  "§6.3: multithreaded workloads (4 threads, 512 kB LLC), execution-time reduction",
+		Header: header,
+		Notes:  []string{"paper: ASCC +5%, AVGCC +6% on average"},
+	}
+	per := make(map[harness.PolicyID][]float64)
+	for _, w := range workload.MTProfiles() {
+		base, err := r.RunMT(w.Name, 4, harness.PBaseline)
+		if err != nil {
+			return Result{}, err
+		}
+		baseTime := maxCycles(base)
+		row := []string{w.Name}
+		for _, p := range pols {
+			run, err := r.RunMT(w.Name, 4, p)
+			if err != nil {
+				return Result{}, err
+			}
+			imp := 1 - maxCycles(run)/baseTime
+			per[p] = append(per[p], imp)
+			row = append(row, harness.Pct(imp))
+		}
+		res.Table.Rows = append(res.Table.Rows, row)
+	}
+	geo := []string{"geomean"}
+	for _, p := range pols {
+		g := metrics.GeomeanImprovement(per[p])
+		geo = append(geo, harness.Pct(g))
+		res.set("geomean/"+string(p), g)
+	}
+	res.Table.Rows = append(res.Table.Rows, geo)
+	return res, nil
+}
+
+// maxCycles is the completion time of a run: the slowest thread's cycles.
+func maxCycles(res cmp.Results) float64 {
+	max := 0.0
+	for _, c := range res.Cores {
+		if c.Cycles > max {
+			max = c.Cycles
+		}
+	}
+	return max
+}
+
+// Prefetcher reproduces the §6.3 stride-prefetcher sensitivity: ASCC and
+// AVGCC improvements with a 16 kB stride prefetcher per LLC.
+func Prefetcher(cfg harness.Config) (Result, error) {
+	cfg.Prefetch = true
+	res := Result{ID: "prefetch"}
+	res.Table = harness.Table{
+		Title:  "§6.3: with a 16 kB stride prefetcher per LLC",
+		Header: []string{"cores", "ASCC", "AVGCC"},
+		Notes:  []string{"paper: ASCC +6%/+5.5% and AVGCC +6.4%/+7.6% (2/4 cores)"},
+	}
+	for _, group := range []struct {
+		cores int
+		mixes [][]int
+	}{
+		{2, workload.TwoAppMixes()},
+		{4, workload.FourAppMixes()},
+	} {
+		r := harness.NewRunner(cfg)
+		var ascc, avgcc []float64
+		for _, mix := range group.mixes {
+			a, err := speedupImprovement(r, mix, harness.PASCC)
+			if err != nil {
+				return Result{}, err
+			}
+			v, err := speedupImprovement(r, mix, harness.PAVGCC)
+			if err != nil {
+				return Result{}, err
+			}
+			ascc = append(ascc, a)
+			avgcc = append(avgcc, v)
+		}
+		ga, gv := metrics.GeomeanImprovement(ascc), metrics.GeomeanImprovement(avgcc)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			fmt.Sprintf("%d", group.cores), harness.Pct(ga), harness.Pct(gv),
+		})
+		res.set(fmt.Sprintf("ASCC/%dcore", group.cores), ga)
+		res.set(fmt.Sprintf("AVGCC/%dcore", group.cores), gv)
+	}
+	return res, nil
+}
+
+// Table4 reproduces the cost-benefit analysis: AVGCC's reduction in
+// off-chip accesses versus the baseline for 1, 2 and 4 MB caches (paper
+// scale), with the storage overhead from the cost model.
+func Table4(cfg harness.Config) (Result, error) {
+	res := Result{ID: "table4"}
+	res.Table = harness.Table{
+		Title:  "Table 4: AVGCC off-chip access reduction vs cache size",
+		Header: []string{"cache size", "4-core reduction", "2-core reduction", "storage overhead"},
+		Notes:  []string{"paper: 27%/14% at 1 MB, 12%/9% at 2 and 4 MB, 0.17% overhead (kB-rounded)"},
+	}
+	for _, size := range []int{1 << 20, 2 << 20, 4 << 20} {
+		c := cfg
+		c.L2SizeBytes = size
+		r := harness.NewRunner(c)
+		reduction := func(mixes [][]int) (float64, error) {
+			var base, avgcc uint64
+			for _, mix := range mixes {
+				b, err := r.RunMix(mix, harness.PBaseline)
+				if err != nil {
+					return 0, err
+				}
+				a, err := r.RunMix(mix, harness.PAVGCC)
+				if err != nil {
+					return 0, err
+				}
+				base += b.TotalOffChip()
+				avgcc += a.TotalOffChip()
+			}
+			return 1 - float64(avgcc)/float64(base), nil
+		}
+		r4, err := reduction(workload.FourAppMixes())
+		if err != nil {
+			return Result{}, err
+		}
+		r2, err := reduction(workload.TwoAppMixes())
+		if err != nil {
+			return Result{}, err
+		}
+		geom := cost.CacheGeometry{SizeBytes: size, Ways: 8, LineBytes: 32, AddressBits: 42}
+		oh := cost.AVGCCReport(geom, 0).OverheadFraction()
+		res.Table.Rows = append(res.Table.Rows, []string{
+			fmt.Sprintf("%dMB", size>>20),
+			harness.Pct(r4), harness.Pct(r2),
+			fmt.Sprintf("%.2f%%", 100*oh),
+		})
+		res.set(fmt.Sprintf("reduction4/%dMB", size>>20), r4)
+		res.set(fmt.Sprintf("reduction2/%dMB", size>>20), r2)
+	}
+	return res, nil
+}
+
+// LimitedCounters reproduces the §7 storage-reduction study: AVGCC capped
+// at a fraction of the full counter count, with the paper-scale storage cost.
+func LimitedCounters(cfg harness.Config) (Result, error) {
+	r := harness.NewRunner(cfg)
+	sets, ways := cfg.L2Geometry()
+	res := Result{ID: "limited"}
+	res.Table = harness.Table{
+		Title:  "§7: AVGCC with a limited number of counters (4 cores)",
+		Header: []string{"max counters (fraction)", "speedup improvement", "storage @ paper scale"},
+		Notes:  []string{"paper: +6.8% with 128 counters (83 B), +7.1% with 2048 (1284 B), +7.8% unlimited"},
+	}
+	paperGeom := cost.PaperGeometry()
+	for _, frac := range []int{32, 2, 1} { // sets/32, sets/2, unlimited
+		maxCounters := sets / frac
+		var imps []float64
+		for _, mix := range workload.FourAppMixes() {
+			alone, err := r.AloneCPIs(mix)
+			if err != nil {
+				return Result{}, err
+			}
+			base, err := r.RunMix(mix, harness.PBaseline)
+			if err != nil {
+				return Result{}, err
+			}
+			pcfg := policies.AVGCCDefaultConfig(len(mix), sets, ways, cfg.Seed)
+			pcfg.ResizePeriod = cfg.ResizePeriod()
+			if frac > 1 {
+				pcfg.MaxCounters = maxCounters
+			}
+			pol := policies.NewASCCVariant(fmt.Sprintf("AVGCC-max%d", maxCounters), pcfg)
+			run, err := r.RunMixWith(mix, pol)
+			if err != nil {
+				return Result{}, err
+			}
+			imps = append(imps, metrics.Improvement(
+				metrics.WeightedSpeedup(metrics.CPIs(run), alone),
+				metrics.WeightedSpeedup(metrics.CPIs(base), alone)))
+		}
+		g := metrics.GeomeanImprovement(imps)
+		paperCounters := paperGeom.Sets() / frac
+		rep := cost.AVGCCReport(paperGeom, paperCounters)
+		label := fmt.Sprintf("%d (sets/%d)", maxCounters, frac)
+		if frac == 1 {
+			label = fmt.Sprintf("%d (all)", maxCounters)
+		}
+		res.Table.Rows = append(res.Table.Rows, []string{
+			label, harness.Pct(g),
+			fmt.Sprintf("%.0fB", float64(rep.TotalOverheadBits())/8),
+		})
+		res.set(fmt.Sprintf("geomean/div%d", frac), g)
+	}
+	return res, nil
+}
+
+// Fig11 reproduces Figure 11: QoS-Aware AVGCC versus AVGCC on the 2-core
+// mixes, plus the 4-core geomean the paper gives in the text (8.1%).
+func Fig11(cfg harness.Config) (Result, error) {
+	r := harness.NewRunner(cfg)
+	res := Result{ID: "fig11"}
+	res.Table = harness.Table{
+		Title:  "Figure 11: QoS-Aware AVGCC vs AVGCC (2 cores)",
+		Header: []string{"workload", "AVGCC", "QoS-AVGCC"},
+		Notes:  []string{"paper: QoS-AVGCC removes AVGCC's degradations and edges it out overall"},
+	}
+	var av, qs []float64
+	for _, mix := range workload.TwoAppMixes() {
+		a, err := speedupImprovement(r, mix, harness.PAVGCC)
+		if err != nil {
+			return Result{}, err
+		}
+		q, err := speedupImprovement(r, mix, harness.PQoSAVGCC)
+		if err != nil {
+			return Result{}, err
+		}
+		av = append(av, a)
+		qs = append(qs, q)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			workload.MixName(mix), harness.Pct(a), harness.Pct(q),
+		})
+	}
+	ga, gq := metrics.GeomeanImprovement(av), metrics.GeomeanImprovement(qs)
+	res.Table.Rows = append(res.Table.Rows, []string{"geomean", harness.Pct(ga), harness.Pct(gq)})
+	res.set("geomean/AVGCC", ga)
+	res.set("geomean/QoS-AVGCC", gq)
+
+	// 4-core summary.
+	var av4, qs4 []float64
+	for _, mix := range workload.FourAppMixes() {
+		a, err := speedupImprovement(r, mix, harness.PAVGCC)
+		if err != nil {
+			return Result{}, err
+		}
+		q, err := speedupImprovement(r, mix, harness.PQoSAVGCC)
+		if err != nil {
+			return Result{}, err
+		}
+		av4 = append(av4, a)
+		qs4 = append(qs4, q)
+	}
+	g4a, g4q := metrics.GeomeanImprovement(av4), metrics.GeomeanImprovement(qs4)
+	res.Table.Rows = append(res.Table.Rows, []string{"geomean-4core", harness.Pct(g4a), harness.Pct(g4q)})
+	res.set("geomean4/AVGCC", g4a)
+	res.set("geomean4/QoS-AVGCC", g4q)
+	return res, nil
+}
+
+// Table5 reproduces the storage-cost table (pure arithmetic at the paper's
+// geometry — independent of the simulation scale).
+func Table5(cfg harness.Config) (Result, error) {
+	g := cost.PaperGeometry()
+	avgcc := cost.AVGCCReport(g, 0)
+	ascc := cost.ASCCReport(g)
+	qos := cost.QoSAVGCCReport(g)
+	dsr := cost.DSRReport(g)
+	res := Result{ID: "table5"}
+	res.Table = harness.Table{
+		Title:  "Table 5: storage cost at the paper's 1MB/8-way/32B geometry",
+		Header: []string{"design", "overhead bits", "overhead bytes", "exact %", "paper-rounded %"},
+	}
+	for _, row := range []struct {
+		name string
+		rep  cost.Report
+	}{
+		{"ASCC", ascc}, {"AVGCC", avgcc}, {"QoS-AVGCC", qos}, {"DSR", dsr},
+	} {
+		res.Table.Rows = append(res.Table.Rows, []string{
+			row.name,
+			fmt.Sprintf("%d", row.rep.TotalOverheadBits()),
+			fmt.Sprintf("%.1f", float64(row.rep.TotalOverheadBits())/8),
+			fmt.Sprintf("%.3f%%", 100*row.rep.OverheadFraction()),
+			fmt.Sprintf("%.2f%%", row.rep.PaperRoundedPercent()),
+		})
+	}
+	res.set("avgccBits", float64(avgcc.TotalOverheadBits()))
+	res.set("avgccPct", 100*avgcc.OverheadFraction())
+	res.set("qosPct", 100*qos.OverheadFraction())
+	return res, nil
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ascc/internal/harness"
+	"ascc/internal/metrics"
+	"ascc/internal/policies"
+	"ascc/internal/workload"
+)
+
+// speedupTable runs each mix under each policy and tabulates the
+// weighted-speedup improvement over the private baseline, with a geomean
+// summary row — the shape of Figures 4, 5, 7 and 8.
+func speedupTable(cfg harness.Config, id, title string, mixes [][]int, pols []harness.PolicyID) (Result, error) {
+	r := harness.NewRunner(cfg)
+	res := Result{ID: id}
+	header := []string{"workload"}
+	for _, p := range pols {
+		header = append(header, string(p))
+	}
+	res.Table = harness.Table{Title: title, Header: header}
+	per := make(map[harness.PolicyID][]float64)
+	for _, mix := range mixes {
+		row := []string{workload.MixName(mix)}
+		for _, p := range pols {
+			imp, err := speedupImprovement(r, mix, p)
+			if err != nil {
+				return Result{}, err
+			}
+			per[p] = append(per[p], imp)
+			row = append(row, harness.Pct(imp))
+		}
+		res.Table.Rows = append(res.Table.Rows, row)
+	}
+	geo := []string{"geomean"}
+	for _, p := range pols {
+		g := metrics.GeomeanImprovement(per[p])
+		geo = append(geo, harness.Pct(g))
+		res.set("geomean/"+string(p), g)
+	}
+	res.Table.Rows = append(res.Table.Rows, geo)
+	return res, nil
+}
+
+// Fig4 reproduces the design breakdown of Figure 4: LRS, LMS, GMS, LMS+BIP,
+// GMS+SABIP, DSR and ASCC on the four-application mixes.
+func Fig4(cfg harness.Config) (Result, error) {
+	return speedupTable(cfg, "fig4",
+		"Figure 4: design breakdown, weighted-speedup improvement (4 cores)",
+		workload.FourAppMixes(),
+		[]harness.PolicyID{harness.PLRS, harness.PLMS, harness.PGMS,
+			harness.PLMSBIP, harness.PGMSSABIP, harness.PDSR, harness.PASCC})
+}
+
+// Fig5 reproduces the neutral-state study of Figure 5: ASCC vs its
+// two-state variant, and DSR vs its three-state variant.
+func Fig5(cfg harness.Config) (Result, error) {
+	return speedupTable(cfg, "fig5",
+		"Figure 5: value of the neutral state (4 cores)",
+		workload.FourAppMixes(),
+		[]harness.PolicyID{harness.PASCC, harness.PASCC2S, harness.PDSR, harness.PDSR3S})
+}
+
+// Fig7 reproduces Figure 7: the main 2-core comparison.
+func Fig7(cfg harness.Config) (Result, error) {
+	return speedupTable(cfg, "fig7",
+		"Figure 7: weighted-speedup improvement over baseline (2 cores)",
+		workload.TwoAppMixes(),
+		[]harness.PolicyID{harness.PDSR, harness.PDSRDIP, harness.PECC, harness.PASCC, harness.PAVGCC})
+}
+
+// Fig8 reproduces Figure 8: the main 4-core comparison.
+func Fig8(cfg harness.Config) (Result, error) {
+	return speedupTable(cfg, "fig8",
+		"Figure 8: weighted-speedup improvement over baseline (4 cores)",
+		workload.FourAppMixes(),
+		[]harness.PolicyID{harness.PDSR, harness.PDSRDIP, harness.PECC, harness.PASCC, harness.PAVGCC})
+}
+
+// Fig9 reproduces Figure 9: fairness (harmonic mean of normalised IPCs)
+// improvement on the 4-core mixes.
+func Fig9(cfg harness.Config) (Result, error) {
+	r := harness.NewRunner(cfg)
+	pols := []harness.PolicyID{harness.PDSR, harness.PDSRDIP, harness.PECC, harness.PASCC, harness.PAVGCC}
+	res := Result{ID: "fig9"}
+	header := []string{"workload"}
+	for _, p := range pols {
+		header = append(header, string(p))
+	}
+	res.Table = harness.Table{
+		Title:  "Figure 9: fairness (harmonic mean) improvement over baseline (4 cores)",
+		Header: header,
+	}
+	per := make(map[harness.PolicyID][]float64)
+	for _, mix := range workload.FourAppMixes() {
+		alone, err := r.AloneCPIs(mix)
+		if err != nil {
+			return Result{}, err
+		}
+		base, err := r.RunMix(mix, harness.PBaseline)
+		if err != nil {
+			return Result{}, err
+		}
+		hBase := metrics.HMeanFairness(metrics.CPIs(base), alone)
+		row := []string{workload.MixName(mix)}
+		for _, p := range pols {
+			run, err := r.RunMix(mix, p)
+			if err != nil {
+				return Result{}, err
+			}
+			imp := metrics.Improvement(metrics.HMeanFairness(metrics.CPIs(run), alone), hBase)
+			per[p] = append(per[p], imp)
+			row = append(row, harness.Pct(imp))
+		}
+		res.Table.Rows = append(res.Table.Rows, row)
+	}
+	geo := []string{"geomean"}
+	for _, p := range pols {
+		g := metrics.GeomeanImprovement(per[p])
+		geo = append(geo, harness.Pct(g))
+		res.set("geomean/"+string(p), g)
+	}
+	res.Table.Rows = append(res.Table.Rows, geo)
+	return res, nil
+}
+
+// SharedLLC reproduces the §6.1 shared-cache comparison: a shared LLC of
+// the private caches' aggregate capacity versus the private baseline, in
+// performance and fairness, for 2 and 4 cores.
+func SharedLLC(cfg harness.Config) (Result, error) {
+	r := harness.NewRunner(cfg)
+	res := Result{ID: "shared"}
+	res.Table = harness.Table{
+		Title:  "§6.1: shared LLC of aggregate capacity vs private baseline",
+		Header: []string{"cores", "perf improvement", "fairness improvement"},
+		Notes: []string{
+			"paper: +1.8%/+1.7% at 2 cores and +3%/+3% at 4 cores — far below ASCC/AVGCC",
+		},
+	}
+	for _, group := range []struct {
+		cores int
+		mixes [][]int
+	}{
+		{2, workload.TwoAppMixes()},
+		{4, workload.FourAppMixes()},
+	} {
+		var perfs, fairs []float64
+		for _, mix := range group.mixes {
+			alone, err := r.AloneCPIs(mix)
+			if err != nil {
+				return Result{}, err
+			}
+			base, err := r.RunMix(mix, harness.PBaseline)
+			if err != nil {
+				return Result{}, err
+			}
+			shared, err := r.RunShared(mix)
+			if err != nil {
+				return Result{}, err
+			}
+			perfs = append(perfs, metrics.Improvement(
+				metrics.WeightedSpeedup(metrics.CPIs(shared), alone),
+				metrics.WeightedSpeedup(metrics.CPIs(base), alone)))
+			fairs = append(fairs, metrics.Improvement(
+				metrics.HMeanFairness(metrics.CPIs(shared), alone),
+				metrics.HMeanFairness(metrics.CPIs(base), alone)))
+		}
+		perf := metrics.GeomeanImprovement(perfs)
+		fair := metrics.GeomeanImprovement(fairs)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			fmt.Sprintf("%d", group.cores), harness.Pct(perf), harness.Pct(fair),
+		})
+		res.set(fmt.Sprintf("perf/%dcore", group.cores), perf)
+		res.set(fmt.Sprintf("fair/%dcore", group.cores), fair)
+	}
+	return res, nil
+}
+
+// Table1 reproduces the granularity sweep: ASCC grouping 1, 4, 16, 64, 256
+// and all sets per counter (the paper's ASCC..ASCC1 columns, expressed as
+// counters per cache at the configured geometry).
+func Table1(cfg harness.Config) (Result, error) {
+	r := harness.NewRunner(cfg)
+	sets, ways := cfg.L2Geometry()
+	groupSizes := []int{1, 4, 16, 64, 256, sets}
+	res := Result{ID: "table1"}
+	header := []string{"workload"}
+	for _, g := range groupSizes {
+		header = append(header, fmt.Sprintf("ASCC%d", sets/g))
+	}
+	res.Table = harness.Table{
+		Title:  "Table 1: ASCC granularity sweep, weighted-speedup improvement (4 cores)",
+		Header: header,
+		Notes: []string{
+			fmt.Sprintf("columns are counters per cache at the scaled geometry (%d sets); the paper's 4096-set columns map proportionally", sets),
+		},
+	}
+	per := make([][]float64, len(groupSizes))
+	for _, mix := range workload.FourAppMixes() {
+		alone, err := r.AloneCPIs(mix)
+		if err != nil {
+			return Result{}, err
+		}
+		base, err := r.RunMix(mix, harness.PBaseline)
+		if err != nil {
+			return Result{}, err
+		}
+		wsBase := metrics.WeightedSpeedup(metrics.CPIs(base), alone)
+		row := []string{workload.MixName(mix)}
+		for gi, g := range groupSizes {
+			gl := log2(g)
+			pol := policies.NewASCCGranular(len(mix), sets, ways, gl, cfg.Seed)
+			run, err := r.RunMixWith(mix, pol)
+			if err != nil {
+				return Result{}, err
+			}
+			imp := metrics.Improvement(metrics.WeightedSpeedup(metrics.CPIs(run), alone), wsBase)
+			per[gi] = append(per[gi], imp)
+			row = append(row, harness.Pct(imp))
+		}
+		res.Table.Rows = append(res.Table.Rows, row)
+	}
+	geo := []string{"geomean"}
+	for gi, g := range groupSizes {
+		m := metrics.GeomeanImprovement(per[gi])
+		geo = append(geo, harness.Pct(m))
+		res.set(fmt.Sprintf("geomean/ASCC%d", sets/g), m)
+	}
+	res.Table.Rows = append(res.Table.Rows, geo)
+	return res, nil
+}
+
+func log2(n int) int {
+	d := 0
+	for n > 1 {
+		n >>= 1
+		d++
+	}
+	return d
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func demoTable() Table {
+	return Table{
+		Title:  "Demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"x", "+1.0%"}, {"y, z", "-2.0%"}},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoTable().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines, want 4:\n%s", len(lines), s)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	// The comma-containing cell must be quoted.
+	if !strings.Contains(lines[2], `"y, z"`) {
+		t.Fatalf("cell not quoted: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "# a note") {
+		t.Fatalf("note missing: %q", lines[3])
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoTable().JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	want := demoTable()
+	if back.Title != want.Title || len(back.Rows) != len(want.Rows) ||
+		back.Rows[1][0] != "y, z" || back.Notes[0] != "a note" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestSeedStatsSummary(t *testing.T) {
+	s := summarise([]float64{0.01, 0.02, 0.03})
+	if s.N != 3 || s.Min != 0.01 || s.Max != 0.03 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Mean < 0.0199 || s.Mean > 0.0201 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if s.StdDev < 0.0099 || s.StdDev > 0.0101 {
+		t.Fatalf("stddev %v", s.StdDev)
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("zero CI for n=3")
+	}
+	if summarise(nil).N != 0 {
+		t.Fatal("empty summary wrong")
+	}
+	if summarise([]float64{5}).CI95() != 0 {
+		t.Fatal("CI for n=1 must be 0")
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Fatalf("string %q", s.String())
+	}
+}
+
+func TestSpeedupOverSeeds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInstr = 150_000
+	cfg.MeasureInstr = 350_000
+	r := NewRunner(cfg)
+	st, err := r.SpeedupOverSeeds([]int{445, 456}, PASCC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 3 {
+		t.Fatalf("n = %d", st.N)
+	}
+	if st.Min > st.Mean || st.Mean > st.Max {
+		t.Fatalf("ordering broken: %+v", st)
+	}
+	if _, err := r.SpeedupOverSeeds([]int{445}, PASCC, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

@@ -1,0 +1,351 @@
+// Package harness wires workloads, the CMP engine and the policies into
+// runnable experiments, caches the expensive single-application baseline
+// runs that the weighted-speedup metrics normalise against, and renders
+// text tables for the per-figure reproductions in internal/experiments.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ascc/internal/cmp"
+	"ascc/internal/coop"
+	"ascc/internal/policies"
+	"ascc/internal/rng"
+	"ascc/internal/trace"
+	"ascc/internal/workload"
+)
+
+// Config fixes the experimental conditions shared by every run of a suite.
+type Config struct {
+	// Scale is the geometry scale divisor (DESIGN.md §5): caches and
+	// workload footprints are shrunk together. 8 is the fast default; 1 is
+	// the paper's absolute geometry.
+	Scale int
+	// WarmupInstr instructions are executed per core before measurement.
+	WarmupInstr uint64
+	// MeasureInstr instructions are measured per core (the paper uses 10
+	// billion; the scaled default is a few million).
+	MeasureInstr uint64
+	// Seed fixes every random sequence in the suite.
+	Seed uint64
+	// Prefetch enables the per-LLC stride prefetcher (§6.3).
+	Prefetch bool
+	// L2SizeBytes overrides the LLC size when non-zero, expressed at PAPER
+	// scale (it is divided by Scale like everything else). Table 4 and the
+	// multithreaded study use it.
+	L2SizeBytes int
+}
+
+// DefaultConfig returns the standard fast configuration.
+func DefaultConfig() Config {
+	return Config{
+		Scale:        8,
+		WarmupInstr:  1_000_000,
+		MeasureInstr: 3_000_000,
+		Seed:         1,
+	}
+}
+
+// Params builds the machine description for a core count (exported for the
+// experiment runners that need to customise the L2, e.g. Figure 1's way
+// sweep).
+func (c Config) Params(cores int) cmp.Params { return c.params(cores) }
+
+// params builds the machine description for a core count.
+func (c Config) params(cores int) cmp.Params {
+	p := cmp.DefaultParams(cores, c.Scale)
+	if c.L2SizeBytes > 0 {
+		p.L2.SizeBytes = c.L2SizeBytes / c.Scale
+	}
+	p.Prefetch = c.Prefetch
+	return p
+}
+
+// L2Geometry returns (sets, ways) of the configured LLC — what policy
+// constructors need.
+func (c Config) L2Geometry() (sets, ways int) {
+	p := c.params(1)
+	return p.L2.SizeBytes / p.L2.LineBytes / p.L2.Ways, p.L2.Ways
+}
+
+// ResizePeriod returns the AVGCC/QoS re-evaluation period for this
+// configuration. The paper's 100 000 accesses amount to thousands of
+// adaptation decisions over a 10-billion-instruction run; scaled runs are
+// orders of magnitude shorter, so the period shrinks quadratically with the
+// geometry scale (the counter count to refine through also shrinks) to give
+// AVGCC a comparable number of decisions before measurement ends.
+func (c Config) ResizePeriod() uint64 {
+	p := uint64(100000) / uint64(c.Scale*c.Scale)
+	if p < 500 {
+		p = 500
+	}
+	return p
+}
+
+// PolicyID names a cooperative-caching design for the registry.
+type PolicyID string
+
+// The registry of designs reproduced from the paper.
+const (
+	PBaseline PolicyID = "baseline"
+	PCC       PolicyID = "CC"
+	PDSR      PolicyID = "DSR"
+	PDSRDIP   PolicyID = "DSR+DIP"
+	PDSR3S    PolicyID = "DSR-3S"
+	PECC      PolicyID = "ECC"
+	PLRS      PolicyID = "LRS"
+	PLMS      PolicyID = "LMS"
+	PGMS      PolicyID = "GMS"
+	PLMSBIP   PolicyID = "LMS+BIP"
+	PGMSSABIP PolicyID = "GMS+SABIP"
+	PASCC     PolicyID = "ASCC"
+	PASCC2S   PolicyID = "ASCC-2S"
+	PAVGCC    PolicyID = "AVGCC"
+	PQoSAVGCC PolicyID = "QoS-AVGCC"
+)
+
+// NewPolicy instantiates a registry design for the given machine.
+// resizePeriod is the AVGCC/QoS re-evaluation period in cache accesses;
+// pass 0 for the paper's 100 000 (use Config.ResizePeriod for scaled runs).
+func NewPolicy(id PolicyID, caches, sets, ways int, seed uint64, resizePeriod uint64) (coop.Policy, error) {
+	if resizePeriod == 0 {
+		resizePeriod = 100000
+	}
+	switch id {
+	case PBaseline:
+		return policies.NewBaseline(), nil
+	case PCC:
+		return policies.NewCC(caches, seed), nil
+	case PDSR:
+		return policies.NewDSR(caches, sets, ways, seed), nil
+	case PDSRDIP:
+		return policies.NewDSRDIP(caches, sets, ways, seed), nil
+	case PDSR3S:
+		return policies.NewDSR3S(caches, sets, ways, seed), nil
+	case PECC:
+		return policies.NewECC(caches, sets, ways, seed), nil
+	case PLRS:
+		return policies.NewLRS(caches, sets, ways, seed), nil
+	case PLMS:
+		return policies.NewLMS(caches, sets, ways, seed), nil
+	case PGMS:
+		return policies.NewGMS(caches, sets, ways, seed), nil
+	case PLMSBIP:
+		return policies.NewLMSBIP(caches, sets, ways, seed), nil
+	case PGMSSABIP:
+		return policies.NewGMSSABIP(caches, sets, ways, seed), nil
+	case PASCC:
+		return policies.NewASCC(caches, sets, ways, seed), nil
+	case PASCC2S:
+		return policies.NewASCC2S(caches, sets, ways, seed), nil
+	case PAVGCC:
+		cfg := policies.AVGCCDefaultConfig(caches, sets, ways, seed)
+		cfg.ResizePeriod = resizePeriod
+		return policies.NewASCCVariant("AVGCC", cfg), nil
+	case PQoSAVGCC:
+		cfg := policies.AVGCCDefaultConfig(caches, sets, ways, seed)
+		cfg.ResizePeriod = resizePeriod
+		cfg.QoS = true
+		return policies.NewASCCVariant("QoS-AVGCC", cfg), nil
+	}
+	return nil, fmt.Errorf("harness: unknown policy %q", id)
+}
+
+// Runner executes mixes under policies, caching the single-application
+// baseline (alone) CPIs that weighted speedup and fairness normalise by.
+type Runner struct {
+	Cfg Config
+
+	aloneCPI map[int]float64
+}
+
+// NewRunner builds a Runner for the configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{Cfg: cfg, aloneCPI: map[int]float64{}}
+}
+
+// timingFor converts profiles into core timing parameters.
+func timingFor(profs []workload.Profile) []cmp.CoreTiming {
+	t := make([]cmp.CoreTiming, len(profs))
+	for i, p := range profs {
+		t[i] = cmp.CoreTiming{BaseCPI: p.BaseCPI, Overlap: p.Overlap}
+	}
+	return t
+}
+
+// AloneCPI returns benchmark id's CPI when running alone on a single-core
+// baseline machine of the configured geometry (memoised).
+func (r *Runner) AloneCPI(id int) (float64, error) {
+	if cpi, ok := r.aloneCPI[id]; ok {
+		return cpi, nil
+	}
+	res, err := r.RunMix([]int{id}, PBaseline)
+	if err != nil {
+		return 0, err
+	}
+	cpi := res.Cores[0].CPI()
+	r.aloneCPI[id] = cpi
+	return cpi, nil
+}
+
+// AloneCPIs resolves alone CPIs for a whole mix.
+func (r *Runner) AloneCPIs(mix []int) ([]float64, error) {
+	out := make([]float64, len(mix))
+	for i, id := range mix {
+		cpi, err := r.AloneCPI(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cpi
+	}
+	return out, nil
+}
+
+// RunMix runs a multiprogrammed mix under a registry policy.
+func (r *Runner) RunMix(mix []int, id PolicyID) (cmp.Results, error) {
+	gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	p := r.Cfg.params(len(mix))
+	sets, ways := r.Cfg.L2Geometry()
+	pol, err := NewPolicy(id, len(mix), sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	sys, err := cmp.New(p, gens, timingFor(profs), pol)
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	return sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr), nil
+}
+
+// RunMixWith runs a mix under an explicitly constructed policy (for the
+// granularity sweep and other parameterised variants).
+func (r *Runner) RunMixWith(mix []int, pol coop.Policy) (cmp.Results, error) {
+	gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	sys, err := cmp.New(r.Cfg.params(len(mix)), gens, timingFor(profs), pol)
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	return sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr), nil
+}
+
+// RunShared runs a mix on the shared-LLC machine of §6.1.
+func (r *Runner) RunShared(mix []int) (cmp.Results, error) {
+	gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	sp := cmp.DefaultSharedParams(len(mix), r.Cfg.Scale)
+	if r.Cfg.L2SizeBytes > 0 {
+		sp.L2.SizeBytes = r.Cfg.L2SizeBytes / r.Cfg.Scale * len(mix)
+	}
+	sys, err := cmp.NewShared(sp, gens, timingFor(profs))
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	return sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr), nil
+}
+
+// RunMT runs a multithreaded workload (threads share one address space)
+// under a registry policy.
+func (r *Runner) RunMT(name string, threads int, id PolicyID) (cmp.Results, error) {
+	prof, err := workload.MTProfileByName(name)
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	gens := prof.NewGenerators(threads, rng.Mix64(r.Cfg.Seed^0x317), r.Cfg.Scale)
+	timing := make([]cmp.CoreTiming, threads)
+	for i := range timing {
+		timing[i] = cmp.CoreTiming{BaseCPI: prof.BaseCPI, Overlap: prof.Overlap}
+	}
+	p := r.Cfg.params(threads)
+	sets, ways := r.Cfg.L2Geometry()
+	pol, err := NewPolicy(id, threads, sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	sys, err := cmp.New(p, gens, timing, pol)
+	if err != nil {
+		return cmp.Results{}, err
+	}
+	return sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr), nil
+}
+
+// RunSingle runs one benchmark alone on a machine with an explicit L2
+// configuration (Fig. 1's way sweep, Fig. 2's per-set study). It returns
+// the results and the system itself for per-set inspection.
+func (r *Runner) RunSingle(id int, p cmp.Params) (cmp.Results, *cmp.System, error) {
+	prof, err := workload.ByID(id)
+	if err != nil {
+		return cmp.Results{}, nil, err
+	}
+	gen := prof.NewGenerator(rng.Mix64(r.Cfg.Seed+77), 0, r.Cfg.Scale)
+	sys, err := cmp.New(p, []trace.Generator{gen},
+		[]cmp.CoreTiming{{BaseCPI: prof.BaseCPI, Overlap: prof.Overlap}}, policies.NewBaseline())
+	if err != nil {
+		return cmp.Results{}, nil, err
+	}
+	res := sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr)
+	return res, sys, nil
+}
+
+// Table is a renderable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a signed percentage.
+func Pct(x float64) string { return fmt.Sprintf("%+.1f%%", 100*x) }
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }

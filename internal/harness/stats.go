@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"ascc/internal/metrics"
+)
+
+// SeedStats summarises a metric measured across independent seeds.
+type SeedStats struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation
+	Min    float64
+	Max    float64
+}
+
+// CI95 returns the half-width of the ~95% confidence interval of the mean
+// under the normal approximation (1.96 σ/√N). Zero for N < 2.
+func (s SeedStats) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci95 [min, max] (n=N)" with percentages.
+func (s SeedStats) String() string {
+	return fmt.Sprintf("%+.2f%% ± %.2f%% [%+.2f%%, %+.2f%%] (n=%d)",
+		100*s.Mean, 100*s.CI95(), 100*s.Min, 100*s.Max, s.N)
+}
+
+// summarise computes SeedStats over samples.
+func summarise(samples []float64) SeedStats {
+	st := SeedStats{N: len(samples)}
+	if st.N == 0 {
+		return st
+	}
+	st.Min, st.Max = samples[0], samples[0]
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = sum / float64(st.N)
+	if st.N > 1 {
+		ss := 0.0
+		for _, v := range samples {
+			d := v - st.Mean
+			ss += d * d
+		}
+		st.StdDev = math.Sqrt(ss / float64(st.N-1))
+	}
+	return st
+}
+
+// SpeedupOverSeeds measures a policy's weighted-speedup improvement over
+// the baseline for one mix across n independent seeds (seed, seed+1, ...),
+// returning the distribution. Each seed gets fresh generators, policy state
+// and alone-CPI calibrations, so the spread reflects genuine workload
+// randomness rather than measurement noise (the simulator itself is
+// deterministic per seed).
+func (r *Runner) SpeedupOverSeeds(mix []int, id PolicyID, n int) (SeedStats, error) {
+	if n <= 0 {
+		return SeedStats{}, fmt.Errorf("harness: non-positive seed count %d", n)
+	}
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := r.Cfg
+		cfg.Seed = r.Cfg.Seed + uint64(i)
+		sub := NewRunner(cfg)
+		alone, err := sub.AloneCPIs(mix)
+		if err != nil {
+			return SeedStats{}, err
+		}
+		base, err := sub.RunMix(mix, PBaseline)
+		if err != nil {
+			return SeedStats{}, err
+		}
+		run, err := sub.RunMix(mix, id)
+		if err != nil {
+			return SeedStats{}, err
+		}
+		imp := metrics.Improvement(
+			metrics.WeightedSpeedup(metrics.CPIs(run), alone),
+			metrics.WeightedSpeedup(metrics.CPIs(base), alone))
+		samples = append(samples, imp)
+	}
+	return summarise(samples), nil
+}

@@ -1,0 +1,64 @@
+// Package mem models the shared resources behind the private LLCs: the
+// on-chip snoop/transfer bus and the off-chip memory port, both as simple
+// single-server queues, plus the energy accounting used for the paper's
+// power-reduction claims.
+//
+// Latency and occupancy are separated: a request observes the fixed service
+// latency plus whatever queueing delay the port's occupancy history imposes.
+// Because the CMP engine always advances the core with the smallest local
+// clock, requests arrive in non-decreasing time order and a scalar
+// busy-until suffices.
+package mem
+
+// Port is a single-server queue for a shared resource.
+type Port struct {
+	// Occupancy is how many cycles each request holds the port.
+	Occupancy float64
+
+	busyUntil float64
+	requests  uint64
+	queued    float64 // accumulated queueing delay
+}
+
+// Request records a request arriving at time t and returns the queueing
+// delay it suffers before service starts.
+func (p *Port) Request(t float64) (queueDelay float64) {
+	p.requests++
+	start := t
+	if p.busyUntil > start {
+		start = p.busyUntil
+		queueDelay = start - t
+	}
+	p.busyUntil = start + p.Occupancy
+	p.queued += queueDelay
+	return queueDelay
+}
+
+// Stats returns the number of requests and total queueing delay so far.
+func (p *Port) Stats() (requests uint64, totalQueueDelay float64) {
+	return p.requests, p.queued
+}
+
+// Reset clears the port's history.
+func (p *Port) Reset() {
+	p.busyUntil, p.requests, p.queued = 0, 0, 0
+}
+
+// Energy holds the per-event energy constants of the memory hierarchy, in
+// arbitrary units (the paper reports relative power, which cancels the
+// units). Defaults follow the usual SRAM-vs-DRAM orders of magnitude.
+type Energy struct {
+	L2Access float64 // tag+data access of a private L2
+	BusXfer  float64 // one line transferred or snooped on the on-chip bus
+	DRAM     float64 // one off-chip access (read or writeback)
+}
+
+// DefaultEnergy is the model used by all experiments.
+func DefaultEnergy() Energy {
+	return Energy{L2Access: 1.0, BusXfer: 2.0, DRAM: 30.0}
+}
+
+// Total computes hierarchy energy from event counts.
+func (e Energy) Total(l2Accesses, busTransfers, dramAccesses uint64) float64 {
+	return e.L2Access*float64(l2Accesses) + e.BusXfer*float64(busTransfers) + e.DRAM*float64(dramAccesses)
+}

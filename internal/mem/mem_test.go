@@ -1,0 +1,67 @@
+package mem
+
+import "testing"
+
+func TestPortNoContention(t *testing.T) {
+	p := &Port{Occupancy: 4}
+	if d := p.Request(0); d != 0 {
+		t.Fatalf("first request delayed %v", d)
+	}
+	if d := p.Request(10); d != 0 {
+		t.Fatalf("spaced request delayed %v", d)
+	}
+}
+
+func TestPortQueueing(t *testing.T) {
+	p := &Port{Occupancy: 4}
+	p.Request(0) // busy until 4
+	if d := p.Request(1); d != 3 {
+		t.Fatalf("second request delay %v, want 3", d)
+	}
+	// busy until 1+3+4 = 8
+	if d := p.Request(2); d != 6 {
+		t.Fatalf("third request delay %v, want 6", d)
+	}
+	reqs, total := p.Stats()
+	if reqs != 3 || total != 9 {
+		t.Fatalf("stats %d/%v, want 3/9", reqs, total)
+	}
+}
+
+func TestPortBackToBackSaturation(t *testing.T) {
+	// n simultaneous arrivals serialise completely.
+	p := &Port{Occupancy: 2}
+	var total float64
+	for i := 0; i < 10; i++ {
+		total += p.Request(100)
+	}
+	// Delays: 0,2,4,...,18 = 90.
+	if total != 90 {
+		t.Fatalf("total delay %v, want 90", total)
+	}
+}
+
+func TestPortReset(t *testing.T) {
+	p := &Port{Occupancy: 4}
+	p.Request(0)
+	p.Request(0)
+	p.Reset()
+	if d := p.Request(0); d != 0 {
+		t.Fatalf("request after reset delayed %v", d)
+	}
+	if reqs, q := p.Stats(); reqs != 1 || q != 0 {
+		t.Fatalf("stats after reset %d/%v", reqs, q)
+	}
+}
+
+func TestEnergyTotal(t *testing.T) {
+	e := Energy{L2Access: 1, BusXfer: 2, DRAM: 30}
+	got := e.Total(100, 10, 5)
+	if got != 100+20+150 {
+		t.Fatalf("energy %v, want 270", got)
+	}
+	d := DefaultEnergy()
+	if d.DRAM <= d.BusXfer || d.BusXfer <= 0 || d.L2Access <= 0 {
+		t.Fatalf("default energy ordering implausible: %+v", d)
+	}
+}

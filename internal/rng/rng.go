@@ -1,0 +1,174 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator.
+//
+// Reproducibility is a hard requirement for the experiment harness: two runs
+// with the same seed must produce bit-identical reference streams and policy
+// decisions, so the policies under comparison observe exactly the same
+// workload. math/rand would work, but a self-contained implementation pins
+// the sequence independently of Go release changes.
+package rng
+
+import "math"
+
+// SplitMix64 is the splitmix64 generator by Sebastiano Vigna. It is used to
+// seed other generators and for cheap one-off hashing of seeds.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x through one splitmix64 round. Useful to derive independent
+// seeds from (seed, index) pairs.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 implements xoshiro256** 1.0 (Blackman & Vigna), the simulator's
+// workhorse generator.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 generator seeded from seed via splitmix64, as
+// recommended by the xoshiro authors.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// An all-zero state would be absorbing; splitmix cannot produce four
+	// zero outputs from any seed, but guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64-bit value.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32-bit value (high bits of Uint64).
+func (x *Xoshiro256) Uint32() uint32 { return uint32(x.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(x.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	return x.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (x *Xoshiro256) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return x.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (mean 1/p), at least 1. For p >= 1 it returns 1.
+func (x *Xoshiro256) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("rng: Geometric with non-positive p")
+	}
+	n := 1
+	for !x.Bernoulli(p) {
+		n++
+		if n >= 1<<20 { // statistically unreachable guard
+			break
+		}
+	}
+	return n
+}
+
+// Zipf samples from a Zipf-like distribution over [0, n) using precomputed
+// cumulative weights. It is a small, allocation-free sampler for skewed
+// region selection in the workload generators.
+type Zipf struct {
+	cum []float64
+	rng *Xoshiro256
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s (s >= 0;
+// s == 0 degenerates to uniform). rng must not be nil.
+func NewZipf(rng *Xoshiro256, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / math.Pow(float64(i+1), s)
+		total += w
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, rng: rng}
+}
+
+// Next returns the next sample in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search the cumulative table.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,375 @@
+package ssl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ascc/internal/rng"
+)
+
+func TestInitialState(t *testing.T) {
+	b := NewBank(16, 8)
+	if b.K() != 8 || b.NumSets() != 16 || b.D() != 0 || b.InUse() != 16 {
+		t.Fatalf("unexpected initial geometry: %+v", b)
+	}
+	for s := 0; s < 16; s++ {
+		if v := b.Value(s); v != 7 {
+			t.Fatalf("initial SSL[%d] = %d, want K-1 = 7", s, v)
+		}
+		if b.Role(s) != Receiver {
+			t.Fatalf("initial role of set %d = %v, want receiver", s, b.Role(s))
+		}
+		if b.BIPMode(s) {
+			t.Fatalf("set %d starts in BIP mode", s)
+		}
+	}
+	if b.B() != 16 {
+		t.Fatalf("initial B = %d, want 16 (all below K)", b.B())
+	}
+	if b.A() != 8 {
+		t.Fatalf("initial A = %d, want 8 (all pairs similar)", b.A())
+	}
+}
+
+func TestSaturationBounds(t *testing.T) {
+	b := NewBank(4, 8) // counters in [0, 15]
+	for i := 0; i < 100; i++ {
+		b.OnMiss(0)
+	}
+	if v := b.Value(0); v != 15 {
+		t.Fatalf("saturated high at %d, want 2K-1 = 15", v)
+	}
+	if b.Role(0) != Spiller {
+		t.Fatalf("saturated counter role = %v, want spiller", b.Role(0))
+	}
+	for i := 0; i < 200; i++ {
+		b.OnHit(0)
+	}
+	if v := b.Value(0); v != 0 {
+		t.Fatalf("saturated low at %d, want 0", v)
+	}
+	if b.Role(0) != Receiver {
+		t.Fatalf("zero counter role = %v, want receiver", b.Role(0))
+	}
+}
+
+func TestRoleThresholds(t *testing.T) {
+	b := NewBank(4, 8)
+	// Start at 7 (K-1). One miss -> 8 = K: neutral.
+	b.OnMiss(0)
+	if b.Value(0) != 8 || b.Role(0) != Neutral {
+		t.Fatalf("SSL=%d role=%v, want 8/neutral", b.Value(0), b.Role(0))
+	}
+	// Climb to 14: still neutral. 15: spiller.
+	for i := 0; i < 6; i++ {
+		b.OnMiss(0)
+	}
+	if b.Value(0) != 14 || b.Role(0) != Neutral {
+		t.Fatalf("SSL=%d role=%v, want 14/neutral", b.Value(0), b.Role(0))
+	}
+	b.OnMiss(0)
+	if b.Value(0) != 15 || b.Role(0) != Spiller {
+		t.Fatalf("SSL=%d role=%v, want 15/spiller", b.Value(0), b.Role(0))
+	}
+	// One hit drops it out of spiller.
+	b.OnHit(0)
+	if b.Role(0) != Neutral {
+		t.Fatalf("role after hit = %v, want neutral", b.Role(0))
+	}
+}
+
+func TestRoleTwoState(t *testing.T) {
+	b := NewBank(4, 8)
+	if b.RoleTwoState(0) != Receiver {
+		t.Fatal("K-1 should be receiver in 2-state mode")
+	}
+	b.OnMiss(0) // -> K
+	if b.RoleTwoState(0) != Spiller {
+		t.Fatal("K should be spiller in 2-state mode")
+	}
+}
+
+func TestGranularityGrouping(t *testing.T) {
+	b := NewBank(16, 8)
+	b.SetGranularity(2) // 4 sets per counter
+	if b.InUse() != 4 {
+		t.Fatalf("in use = %d, want 4", b.InUse())
+	}
+	// Sets 0..3 share counter 0.
+	b.OnMiss(1)
+	for s := 0; s < 4; s++ {
+		if b.Value(s) != 8 {
+			t.Fatalf("set %d SSL = %d, want shared 8", s, b.Value(s))
+		}
+	}
+	if b.Value(4) != 7 {
+		t.Fatalf("set 4 SSL = %d, want untouched 7", b.Value(4))
+	}
+}
+
+func TestBCounterTracksBelowK(t *testing.T) {
+	b := NewBank(8, 4) // K=4, counters start at 3, B=8
+	if b.B() != 8 {
+		t.Fatalf("B = %d, want 8", b.B())
+	}
+	b.OnMiss(0) // counter 0: 3->4, leaves below-K
+	if b.B() != 7 {
+		t.Fatalf("B = %d after crossing up, want 7", b.B())
+	}
+	b.OnHit(0) // 4->3, back below K
+	if b.B() != 8 {
+		t.Fatalf("B = %d after crossing down, want 8", b.B())
+	}
+}
+
+func TestACounterTracksSimilarPairs(t *testing.T) {
+	b := NewBank(8, 4)
+	if b.A() != 4 {
+		t.Fatalf("A = %d, want 4", b.A())
+	}
+	// Push counter 0 three units above counter 1: pair becomes dissimilar.
+	b.OnMiss(0)
+	b.OnMiss(0)
+	if b.A() != 4 {
+		t.Fatalf("A = %d with diff 2 (still similar), want 4", b.A())
+	}
+	b.OnMiss(0)
+	if b.A() != 3 {
+		t.Fatalf("A = %d with diff 3, want 3", b.A())
+	}
+	// Pull it back: similar again.
+	b.OnHit(0)
+	if b.A() != 4 {
+		t.Fatalf("A = %d after rebalance, want 4", b.A())
+	}
+}
+
+func TestACountsPolicyBit(t *testing.T) {
+	b := NewBank(8, 4)
+	b.SetBIPMode(0, true) // counter 0 differs from counter 1 in policy
+	if b.A() != 3 {
+		t.Fatalf("A = %d after policy divergence, want 3", b.A())
+	}
+	b.SetBIPMode(1, true)
+	if b.A() != 4 {
+		t.Fatalf("A = %d after policies match again, want 4", b.A())
+	}
+	// Setting the same value twice is a no-op.
+	b.SetBIPMode(1, true)
+	if b.A() != 4 {
+		t.Fatalf("A = %d after redundant set, want 4", b.A())
+	}
+}
+
+func TestResizeFinerWhenManyReceivers(t *testing.T) {
+	b := NewBank(16, 8)
+	b.SetGranularity(4) // 1 counter for all sets
+	if b.InUse() != 1 {
+		t.Fatalf("in use = %d, want 1", b.InUse())
+	}
+	// The single counter starts at K-1 < K, so B=1 > 1/2=0: refine.
+	d, changed := b.Resize()
+	if !changed || d != 3 {
+		t.Fatalf("resize -> d=%d changed=%v, want 3/true", d, changed)
+	}
+	if b.InUse() != 2 {
+		t.Fatalf("in use = %d after refine, want 2", b.InUse())
+	}
+	// Counters were reinitialised.
+	if b.Value(0) != 7 || b.Value(15) != 7 {
+		t.Fatal("counters not reinitialised after resize")
+	}
+}
+
+func TestResizeCoarserWhenAllPairsSimilar(t *testing.T) {
+	b := NewBank(16, 8)
+	// Push every counter to neutral so B = 0, keep pairs similar.
+	for s := 0; s < 16; s++ {
+		b.OnMiss(s)
+		b.OnMiss(s)
+	}
+	if b.B() != 0 {
+		t.Fatalf("B = %d, want 0", b.B())
+	}
+	if b.A() != 8 {
+		t.Fatalf("A = %d, want 8", b.A())
+	}
+	d, changed := b.Resize()
+	if !changed || d != 1 {
+		t.Fatalf("resize -> d=%d changed=%v, want 1/true", d, changed)
+	}
+}
+
+func TestResizeNoChangeWhenMixed(t *testing.T) {
+	b := NewBank(16, 8)
+	// Make exactly half the counters neutral with dissimilar pairs:
+	// counters 0,2,4,6,8,10,12,14 get +4 (SSL 11), odd ones stay at 7.
+	for s := 0; s < 16; s += 2 {
+		for i := 0; i < 4; i++ {
+			b.OnMiss(s)
+		}
+	}
+	// B = 8 (odd counters below K), not > 8; A = 0 (diff 4 > 2).
+	if b.B() != 8 || b.A() != 0 {
+		t.Fatalf("B=%d A=%d, want 8/0", b.B(), b.A())
+	}
+	if _, changed := b.Resize(); changed {
+		t.Fatal("resize changed granularity with neither condition met")
+	}
+}
+
+func TestResizeRespectsBounds(t *testing.T) {
+	b := NewBank(4, 8)
+	// At finest granularity, refine must not go below 0.
+	if b.D() != 0 {
+		t.Fatal("not at finest")
+	}
+	// All counters below K: B=4 > 2, but D=0 already.
+	if _, changed := b.Resize(); changed {
+		t.Fatal("refined below finest granularity")
+	}
+	// At coarsest, coarsen must not exceed maxD.
+	b.SetGranularity(2) // 1 counter
+	b.OnMiss(0)         // push to K: B=0; single counter: no pairs, A=0, inUse=1
+	if _, changed := b.Resize(); changed {
+		t.Fatal("coarsened past a single counter")
+	}
+}
+
+func TestLimitCounters(t *testing.T) {
+	b := NewBank(4096, 8)
+	b.LimitCounters(128)
+	if b.D() != 5 || b.InUse() != 128 {
+		t.Fatalf("after limit: D=%d inUse=%d, want 5/128", b.D(), b.InUse())
+	}
+	// Refinement stops at the cap even when B favours it (all below K).
+	if _, changed := b.Resize(); changed {
+		t.Fatal("resize refined beyond the counter limit")
+	}
+	// Coarsening is still allowed.
+	for s := 0; s < 4096; s += 32 {
+		b.OnMiss(s)
+		b.OnMiss(s) // every counter to SSL 9 -> B = 0, pairs similar
+	}
+	if d, changed := b.Resize(); !changed || d != 6 {
+		t.Fatalf("resize -> d=%d changed=%v, want 6/true", d, changed)
+	}
+}
+
+func TestQoSFractionalIncrement(t *testing.T) {
+	b := NewBank(4, 8)
+	b.SetMissIncrement(4) // 0.5 in 1.3 fixed point
+	b.OnMiss(0)
+	if v := b.Value(0); v != 7 {
+		t.Fatalf("SSL = %d after 0.5 increment from 7.0, want still 7 (7.5)", v)
+	}
+	b.OnMiss(0)
+	if v := b.Value(0); v != 8 {
+		t.Fatalf("SSL = %d after two 0.5 increments, want 8", v)
+	}
+	// Hits still subtract a full unit.
+	b.OnHit(0)
+	if v := b.Value(0); v != 7 {
+		t.Fatalf("SSL = %d after hit, want 7", v)
+	}
+	// Zero increment freezes upward movement entirely (full inhibition).
+	b.SetMissIncrement(0)
+	for i := 0; i < 100; i++ {
+		b.OnMiss(0)
+	}
+	if b.Role(0) != Receiver {
+		t.Fatalf("role = %v with zero increment, want receiver", b.Role(0))
+	}
+	// Clamping.
+	b.SetMissIncrement(99)
+	if b.MissIncrement() != One {
+		t.Fatalf("increment clamped to %d, want %d", b.MissIncrement(), One)
+	}
+	b.SetMissIncrement(-5)
+	if b.MissIncrement() != 0 {
+		t.Fatalf("increment clamped to %d, want 0", b.MissIncrement())
+	}
+}
+
+// TestABInvariantProperty drives the bank with random hits/misses/policy
+// flips/resizes and cross-checks the incrementally maintained A and B
+// against a from-scratch recount.
+func TestABInvariantProperty(t *testing.T) {
+	recount := func(b *Bank) (a, bb int) {
+		n := b.InUse()
+		vals := b.Counters()
+		for i := 0; i < n; i++ {
+			if vals[i] < b.K() {
+				bb++
+			}
+		}
+		for i := 0; i+1 < n; i += 2 {
+			d := vals[i] - vals[i+1]
+			if d < 0 {
+				d = -d
+			}
+			if d <= 2 && b.BIPMode(i<<b.D()) == b.BIPMode((i+1)<<b.D()) {
+				a++
+			}
+		}
+		return
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		b := NewBank(32, 8)
+		for i := 0; i < 2000; i++ {
+			s := r.Intn(32)
+			switch r.Intn(10) {
+			case 0:
+				b.SetBIPMode(s, r.Bernoulli(0.5))
+			case 1:
+				if r.Bernoulli(0.05) {
+					b.Resize()
+				}
+			case 2, 3, 4:
+				b.OnHit(s)
+			default:
+				b.OnMiss(s)
+			}
+			wantA, wantB := recount(b)
+			if b.A() != wantA || b.B() != wantB {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueFixedAndCountersView(t *testing.T) {
+	b := NewBank(4, 8)
+	b.OnMiss(0)
+	if got := b.ValueFixed(0); got != 8<<3 {
+		t.Fatalf("fixed value = %d, want %d", got, 8<<3)
+	}
+	c := b.Counters()
+	if len(c) != 4 || c[0] != 8 || c[1] != 7 {
+		t.Fatalf("counters view = %v", c)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Receiver.String() != "receiver" || Neutral.String() != "neutral" || Spiller.String() != "spiller" {
+		t.Fatal("role names wrong")
+	}
+}
+
+func TestNewBankValidation(t *testing.T) {
+	for _, bad := range []struct{ sets, k int }{{0, 8}, {3, 8}, {8, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBank(%d,%d) did not panic", bad.sets, bad.k)
+				}
+			}()
+			NewBank(bad.sets, bad.k)
+		}()
+	}
+}

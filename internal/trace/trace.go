@@ -1,0 +1,322 @@
+// Package trace defines the memory-reference streams that drive the
+// simulator and a small library of composable address-pattern components.
+//
+// A Generator yields an endless stream of references; the per-benchmark
+// models in internal/workload are built by mixing components (sequential
+// streams, cyclic loops, uniform random walks, Zipf-skewed region accesses,
+// hot-line pools) over disjoint address regions, which is how the synthetic
+// SPEC CPU2006 stand-ins reproduce the footprint, reuse-distance and per-set
+// skew properties the paper's policies react to (see DESIGN.md §3).
+package trace
+
+import (
+	"fmt"
+
+	"ascc/internal/rng"
+)
+
+// Ref is one memory reference produced by a generator.
+type Ref struct {
+	Addr  uint64 // byte address
+	Write bool
+	Gap   int32 // non-memory instructions executed before this reference
+}
+
+// Generator produces an endless reference stream.
+type Generator interface {
+	// Name identifies the stream (benchmark name for workload models).
+	Name() string
+	// Next returns the next reference. Implementations must be
+	// deterministic for a fixed construction seed.
+	Next() Ref
+}
+
+// Component produces addresses within a region; the Composite generator
+// mixes several weighted components and adds instruction gaps and writes.
+type Component interface {
+	// NextAddr returns the next byte address of this pattern.
+	NextAddr(r *rng.Xoshiro256) uint64
+}
+
+// SeqStream walks sequentially through [Base, Base+Footprint) with the given
+// stride, wrapping around: the classic streaming pattern (milc, libquantum,
+// lbm). A footprint much larger than the LLC makes every access a miss with
+// no reuse.
+type SeqStream struct {
+	Base      uint64
+	Footprint uint64
+	Stride    uint64
+	pos       uint64
+}
+
+// NextAddr implements Component.
+func (s *SeqStream) NextAddr(_ *rng.Xoshiro256) uint64 {
+	a := s.Base + s.pos
+	s.pos += s.Stride
+	if s.pos >= s.Footprint {
+		s.pos = 0
+	}
+	return a
+}
+
+// Loop is a cyclic walk over a working set. It is structurally a SeqStream;
+// the distinct type documents intent (a loop's footprint is commensurate
+// with the cache, so its hit rate depends on allocated capacity — the
+// "benefits from more ways" benchmarks of Fig. 1).
+type Loop struct {
+	Base      uint64
+	Footprint uint64
+	Stride    uint64
+	pos       uint64
+}
+
+// NextAddr implements Component.
+func (l *Loop) NextAddr(_ *rng.Xoshiro256) uint64 {
+	a := l.Base + l.pos
+	l.pos += l.Stride
+	if l.pos >= l.Footprint {
+		l.pos = 0
+	}
+	return a
+}
+
+// RandomWalk picks lines uniformly inside its region (mcf-style pointer
+// chasing over a huge heap).
+type RandomWalk struct {
+	Base      uint64
+	Footprint uint64
+	Align     uint64 // address alignment, typically the line size
+}
+
+// NextAddr implements Component.
+func (w *RandomWalk) NextAddr(r *rng.Xoshiro256) uint64 {
+	if w.Align == 0 {
+		w.Align = 32
+	}
+	n := w.Footprint / w.Align
+	return w.Base + r.Uint64n(n)*w.Align
+}
+
+// ZipfRegions divides its footprint into NumRegions regions, picks a region
+// with Zipf skew and runs a short sequential burst inside it. This creates
+// the non-uniform per-set demand the paper motivates with Fig. 2: popular
+// regions keep a subset of cache sets under pressure while others idle.
+type ZipfRegions struct {
+	Base       uint64
+	Footprint  uint64
+	NumRegions int
+	Skew       float64
+	BurstLen   int // references per burst
+	Stride     uint64
+
+	zipf     *rng.Zipf
+	curBase  uint64
+	curOff   uint64
+	burstPos int
+}
+
+// NextAddr implements Component.
+func (z *ZipfRegions) NextAddr(r *rng.Xoshiro256) uint64 {
+	if z.Stride == 0 {
+		z.Stride = 32
+	}
+	if z.zipf == nil {
+		z.zipf = rng.NewZipf(r, z.NumRegions, z.Skew)
+	}
+	regionSize := z.Footprint / uint64(z.NumRegions)
+	if z.burstPos == 0 {
+		region := z.zipf.Next()
+		z.curBase = z.Base + uint64(region)*regionSize
+		maxOff := regionSize / z.Stride
+		if maxOff == 0 {
+			maxOff = 1
+		}
+		z.curOff = r.Uint64n(maxOff) * z.Stride
+		z.burstPos = z.BurstLen
+		if z.burstPos <= 0 {
+			z.burstPos = 1
+		}
+	}
+	a := z.curBase + z.curOff
+	z.curOff += z.Stride
+	if z.curOff >= regionSize {
+		z.curOff = 0
+	}
+	z.burstPos--
+	return a
+}
+
+// ColumnWalk models column-major traversal of a row-major matrix (blocked
+// linear algebra, dynamic-programming tables): consecutive accesses are
+// RowStride bytes apart, so when RowStride is a multiple of the cache's
+// set span (sets × line size) a whole column of Rows lines maps to a single
+// set and produces an uninterrupted burst of misses there. This is the
+// per-set demand imbalance the paper's Figure 2 motivates: individual sets
+// saturate (and spill) while their neighbours idle.
+type ColumnWalk struct {
+	Base      uint64
+	Rows      int    // mean lines per column (same-set consecutive accesses)
+	Cols      int    // columns; column c maps to set (base/line + SetOffset + c) mod sets
+	SetOffset int    // first column's set index relative to Base (in lines)
+	RowStride uint64 // byte distance between rows; the cache set span
+	// VarRows gives each column a deterministic height in [Rows/2, 3*Rows/2)
+	// — a ragged matrix. Different sets then need very different numbers of
+	// ways, which is precisely the per-set heterogeneity (Fig. 2) that
+	// set-granular policies exploit and cache-global ones cannot.
+	VarRows  bool
+	row, col int
+}
+
+// colRows returns the height of the current column.
+func (w *ColumnWalk) colRows() int {
+	if !w.VarRows {
+		return w.Rows
+	}
+	h := w.Rows/2 + int(rng.Mix64(uint64(w.col)^w.Base)%uint64(w.Rows))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// NextAddr implements Component.
+func (w *ColumnWalk) NextAddr(_ *rng.Xoshiro256) uint64 {
+	a := w.Base + uint64(w.row)*w.RowStride + uint64(w.SetOffset+w.col)*32
+	w.row++
+	if w.row >= w.colRows() {
+		w.row = 0
+		w.col++
+		if w.col >= w.Cols {
+			w.col = 0
+		}
+	}
+	return a
+}
+
+// HotLines accesses a small pool of very hot lines uniformly — the high-reuse
+// fraction present in nearly every benchmark, keeping some sets' SSL low.
+type HotLines struct {
+	Base  uint64
+	Lines int
+	Align uint64
+}
+
+// NextAddr implements Component.
+func (h *HotLines) NextAddr(r *rng.Xoshiro256) uint64 {
+	if h.Align == 0 {
+		h.Align = 32
+	}
+	return h.Base + uint64(r.Intn(h.Lines))*h.Align
+}
+
+// StridedWalk produces a constant-stride stream with occasional restarts,
+// the pattern a stride prefetcher captures (§6.3 sensitivity).
+type StridedWalk struct {
+	Base      uint64
+	Footprint uint64
+	Stride    uint64
+	RestartP  float64 // probability of jumping to a new start point
+	pos       uint64
+}
+
+// NextAddr implements Component.
+func (s *StridedWalk) NextAddr(r *rng.Xoshiro256) uint64 {
+	if s.RestartP > 0 && r.Bernoulli(s.RestartP) {
+		s.pos = r.Uint64n(s.Footprint/s.Stride) * s.Stride
+	}
+	a := s.Base + s.pos
+	s.pos += s.Stride
+	if s.pos >= s.Footprint {
+		s.pos = 0
+	}
+	return a
+}
+
+// Mixed is one weighted component of a Composite.
+type Mixed struct {
+	Comp      Component
+	Weight    float64 // relative selection weight
+	WriteFrac float64 // fraction of this component's references that are writes
+}
+
+// Composite is the standard workload generator: a weighted mixture of
+// components plus an instruction-gap model targeting a given reference rate.
+type Composite struct {
+	name    string
+	comps   []Mixed
+	cum     []float64 // cumulative normalised weights
+	gapMean float64   // mean instructions between references
+	gapAcc  float64   // fractional-gap accumulator (deterministic dithering)
+	r       *rng.Xoshiro256
+}
+
+// NewComposite builds a composite generator. refsPerKInstr is the memory
+// references issued per 1000 instructions (the L1 sees this stream; the L2
+// sees what the L1 misses). seed fixes the random sequence.
+func NewComposite(name string, seed uint64, refsPerKInstr float64, comps []Mixed) *Composite {
+	if len(comps) == 0 {
+		panic("trace: composite with no components")
+	}
+	if refsPerKInstr <= 0 {
+		panic(fmt.Sprintf("trace: non-positive reference rate %v", refsPerKInstr))
+	}
+	total := 0.0
+	for _, c := range comps {
+		if c.Weight <= 0 {
+			panic(fmt.Sprintf("trace: non-positive component weight %v", c.Weight))
+		}
+		total += c.Weight
+	}
+	cum := make([]float64, len(comps))
+	acc := 0.0
+	for i, c := range comps {
+		acc += c.Weight / total
+		cum[i] = acc
+	}
+	return &Composite{
+		name:    name,
+		comps:   comps,
+		cum:     cum,
+		gapMean: 1000.0/refsPerKInstr - 1,
+		r:       rng.New(seed),
+	}
+}
+
+// Name implements Generator.
+func (c *Composite) Name() string { return c.name }
+
+// Next implements Generator.
+func (c *Composite) Next() Ref {
+	// Deterministic dithering spreads the fractional part of the mean gap
+	// evenly instead of sampling, which is cheaper and keeps the instruction
+	// rate exact over any window.
+	c.gapAcc += c.gapMean
+	gap := int32(c.gapAcc)
+	c.gapAcc -= float64(gap)
+
+	idx := 0
+	if len(c.comps) > 1 {
+		u := c.r.Float64()
+		for idx < len(c.cum)-1 && c.cum[idx] < u {
+			idx++
+		}
+	}
+	m := &c.comps[idx]
+	return Ref{
+		Addr:  m.Comp.NextAddr(c.r),
+		Write: m.WriteFrac > 0 && c.r.Bernoulli(m.WriteFrac),
+		Gap:   gap,
+	}
+}
+
+// Counted wraps a Generator and counts emitted references; used by tests.
+type Counted struct {
+	Generator
+	N uint64
+}
+
+// Next implements Generator.
+func (c *Counted) Next() Ref {
+	c.N++
+	return c.Generator.Next()
+}

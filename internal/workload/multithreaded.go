@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+
+	"ascc/internal/rng"
+	"ascc/internal/trace"
+)
+
+// MTProfile is a multithreaded workload model for the §6.3 sensitivity
+// study. All threads share one address space: shared components use common
+// bases (so the MESI protocol sees real sharing, invalidations and
+// cache-to-cache transfers), while private components are offset per thread.
+//
+// The models are inspired by SPLASH2/PARSEC kernels; the paper runs them on
+// a reduced 512 kB LLC because most are not memory-hungry.
+type MTProfile struct {
+	Name string
+	// BaseCPI/Overlap/RefsPerKInstr play the same timing role as in Profile.
+	BaseCPI       float64
+	Overlap       float64
+	RefsPerKInstr float64
+
+	build func(thread int, seed uint64) []trace.Mixed
+}
+
+// NewGenerators builds one generator per thread. scale is the geometry
+// scale divisor (see ScaleComponents).
+func (p MTProfile) NewGenerators(threads int, seed uint64, scale int) []trace.Generator {
+	gens := make([]trace.Generator, threads)
+	for t := 0; t < threads; t++ {
+		name := fmt.Sprintf("%s.t%d", p.Name, t)
+		comps := p.build(t, seed)
+		ScaleComponents(comps, scale)
+		gens[t] = trace.NewComposite(name, rng.Mix64(seed+uint64(t)*0x51ed), p.RefsPerKInstr, comps)
+	}
+	return gens
+}
+
+// threadPrivateBase places thread-private data well away from the shared
+// regions (which occupy the low addresses).
+func threadPrivateBase(thread int) uint64 { return 1<<35 + uint64(thread)<<32 }
+
+// MTProfiles returns the multithreaded workload models.
+func MTProfiles() []MTProfile {
+	return []MTProfile{
+		{
+			// Grid solver: each thread sweeps its own partition of a shared
+			// grid and reads boundary rows owned by its neighbours.
+			Name:    "ocean",
+			BaseCPI: 0.7, Overlap: 0.3, RefsPerKInstr: 180,
+			build: func(thread int, seed uint64) []trace.Mixed {
+				const grid = 4 * MB
+				part := uint64(grid / 4)
+				own := uint64(thread) * part
+				neighbour := uint64((thread+1)%4) * part
+				return []trace.Mixed{
+					{Comp: &trace.SeqStream{Base: own, Footprint: part, Stride: 32}, Weight: 20, WriteFrac: 0.4},
+					// Boundary reads from the neighbour's partition.
+					{Comp: &trace.SeqStream{Base: neighbour, Footprint: 64 * KB, Stride: 32}, Weight: 3},
+					{Comp: &trace.HotLines{Base: threadPrivateBase(thread), Lines: 256}, Weight: 157, WriteFrac: 0.2},
+				}
+			},
+		},
+		{
+			// Blocked LU: threads walk shared matrix blocks round-robin, so
+			// blocks migrate between caches phase by phase.
+			Name:    "lu",
+			BaseCPI: 0.6, Overlap: 0.25, RefsPerKInstr: 170,
+			build: func(thread int, seed uint64) []trace.Mixed {
+				return []trace.Mixed{
+					{Comp: &trace.ZipfRegions{Base: 0, Footprint: 1536 * KB, NumRegions: 48, Skew: 0.5, BurstLen: 16}, Weight: 30, WriteFrac: 0.35},
+					{Comp: &trace.HotLines{Base: threadPrivateBase(thread), Lines: 256}, Weight: 140, WriteFrac: 0.2},
+				}
+			},
+		},
+		{
+			// N-body tree walk: highly skewed read-mostly sharing of the
+			// octree plus private particle updates.
+			Name:    "barnes",
+			BaseCPI: 0.8, Overlap: 0.4, RefsPerKInstr: 150,
+			build: func(thread int, seed uint64) []trace.Mixed {
+				return []trace.Mixed{
+					{Comp: &trace.ZipfRegions{Base: 0, Footprint: 2 * MB, NumRegions: 64, Skew: 1.1, BurstLen: 4}, Weight: 25, WriteFrac: 0.05},
+					{Comp: &trace.Loop{Base: threadPrivateBase(thread), Footprint: 128 * KB, Stride: 32}, Weight: 30, WriteFrac: 0.4},
+					{Comp: &trace.HotLines{Base: threadPrivateBase(thread) + 16*MB, Lines: 256}, Weight: 95, WriteFrac: 0.2},
+				}
+			},
+		},
+		{
+			// Clustering: read-only streaming over the shared point set with
+			// small private accumulators.
+			Name:    "streamcluster",
+			BaseCPI: 0.6, Overlap: 0.2, RefsPerKInstr: 200,
+			build: func(thread int, seed uint64) []trace.Mixed {
+				return []trace.Mixed{
+					{Comp: &trace.SeqStream{Base: 0, Footprint: 4 * MB, Stride: 32}, Weight: 22},
+					{Comp: &trace.Loop{Base: threadPrivateBase(thread), Footprint: 48 * KB, Stride: 32}, Weight: 40, WriteFrac: 0.5},
+					{Comp: &trace.HotLines{Base: threadPrivateBase(thread) + 16*MB, Lines: 128}, Weight: 138, WriteFrac: 0.2},
+				}
+			},
+		},
+		{
+			// Sort/transform kernel: random scatter over a shared array.
+			Name:    "radix",
+			BaseCPI: 0.7, Overlap: 0.35, RefsPerKInstr: 190,
+			build: func(thread int, seed uint64) []trace.Mixed {
+				return []trace.Mixed{
+					{Comp: &trace.RandomWalk{Base: 0, Footprint: 3 * MB}, Weight: 12, WriteFrac: 0.5},
+					{Comp: &trace.SeqStream{Base: threadPrivateBase(thread), Footprint: 512 * KB, Stride: 32}, Weight: 15, WriteFrac: 0.2},
+					{Comp: &trace.HotLines{Base: threadPrivateBase(thread) + 16*MB, Lines: 256}, Weight: 163, WriteFrac: 0.2},
+				}
+			},
+		},
+		{
+			// Simulated annealing: random reads and writes over a large
+			// shared netlist.
+			Name:    "canneal",
+			BaseCPI: 0.9, Overlap: 0.5, RefsPerKInstr: 160,
+			build: func(thread int, seed uint64) []trace.Mixed {
+				return []trace.Mixed{
+					{Comp: &trace.RandomWalk{Base: 0, Footprint: 6 * MB}, Weight: 18, WriteFrac: 0.3},
+					{Comp: &trace.HotLines{Base: threadPrivateBase(thread), Lines: 512}, Weight: 142, WriteFrac: 0.2},
+				}
+			},
+		},
+	}
+}
+
+// MTProfileByName finds a multithreaded workload by name.
+func MTProfileByName(name string) (MTProfile, error) {
+	for _, p := range MTProfiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return MTProfile{}, fmt.Errorf("workload: unknown multithreaded workload %q", name)
+}
