@@ -1,0 +1,38 @@
+# Repeatable verification gate for the ascc reproduction.
+#
+#   make check   - everything CI should run (build, vet, fmt, tests, race)
+#   make test    - the tier-1 suite only
+#   make race    - race-detector pass over the concurrent packages
+#   make bench   - microbenchmarks for the hot simulator paths
+
+GO ?= go
+
+.PHONY: check build vet fmt test race bench clean
+
+check: build vet fmt test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# The harness worker pool and the experiment fan-outs are the only
+# concurrent code; -race over just those keeps the gate fast.
+race:
+	$(GO) test -race ./internal/harness/... ./internal/experiments/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

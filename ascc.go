@@ -97,12 +97,24 @@ type Results = cmp.Results
 // CoreStats is one core's measurements.
 type CoreStats = cmp.CoreStats
 
-// Runner executes workload mixes under policies, memoising the expensive
-// single-application baseline runs used by the weighted-speedup metrics.
+// Runner executes workload mixes under policies. It is safe for concurrent
+// use: simulations fan out across the configuration's worker pool
+// (Config.Parallel slots) and a singleflight cache memoises every registry
+// run, so the expensive single-application baselines the weighted-speedup
+// metrics normalise against are simulated exactly once.
 type Runner = harness.Runner
 
 // NewRunner builds a Runner.
 func NewRunner(cfg Config) *Runner { return harness.NewRunner(cfg) }
+
+// Pool bounds how many simulations run at once and shares memoised runners
+// across experiments. Attach one with Config.WithPool to reuse baseline
+// simulations across several RunExperiment calls; results are bit-identical
+// at every pool size.
+type Pool = harness.Pool
+
+// NewPool builds a worker pool with n slots; n <= 0 uses all CPUs.
+func NewPool(n int) *Pool { return harness.NewPool(n) }
 
 // ExperimentResult is one reproduced table or figure: a renderable text
 // table plus headline values.

@@ -5,9 +5,13 @@
 //
 //	asccbench -exp fig8                 # one experiment (see -list)
 //	asccbench -exp all                  # the full evaluation, paper order
+//	asccbench -exp all -parallel 8      # same tables, 8 simulations at a time
 //	asccbench -exp fig7 -scale 4 -measure 8000000
 //	asccbench -list                     # experiment index
 //	asccbench -mix 445+456 -policy AVGCC  # a single ad-hoc run
+//
+// Simulations fan out across -parallel worker slots (default: all CPUs);
+// output is bit-identical at every setting, only wall-clock changes.
 package main
 
 import (
@@ -21,66 +25,128 @@ import (
 	"ascc"
 )
 
+// options collects the parsed command line; validate checks it before any
+// simulation runs.
+type options struct {
+	exp      string
+	list     bool
+	scale    int
+	warmup   uint64
+	measure  uint64
+	seed     uint64
+	seeds    int
+	parallel int
+	mix      string
+	policy   string
+	format   string
+	traces   string
+}
+
+// validate rejects out-of-range values and flag combinations that would
+// otherwise be silently ignored.
+func (o options) validate() error {
+	if o.scale < 1 {
+		return fmt.Errorf("-scale must be >= 1 (got %d; 1 is the paper's absolute geometry)", o.scale)
+	}
+	if o.seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1 (got %d)", o.seeds)
+	}
+	if o.parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (got %d; 0 means all CPUs)", o.parallel)
+	}
+	switch o.format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv or json)", o.format)
+	}
+	if o.mix != "" && o.traces != "" {
+		return fmt.Errorf("-mix and -trace are mutually exclusive")
+	}
+	if o.exp != "" && (o.mix != "" || o.traces != "") {
+		return fmt.Errorf("-exp cannot be combined with -mix or -trace")
+	}
+	if o.seeds > 1 && o.mix == "" {
+		return fmt.Errorf("-seeds only applies to -mix runs")
+	}
+	if o.format != "text" && (o.mix != "" || o.traces != "") {
+		return fmt.Errorf("-format %s only applies to -exp runs (-mix and -trace always print text)", o.format)
+	}
+	return nil
+}
+
+// config builds the harness configuration from validated options.
+func (o options) config() ascc.Config {
+	cfg := ascc.DefaultConfig()
+	cfg.Scale = o.scale
+	cfg.Seed = o.seed
+	cfg.Parallel = o.parallel
+	if o.scale != 8 {
+		// Scale the default budgets so reuse cycles complete (DESIGN.md §5).
+		cfg.WarmupInstr = cfg.WarmupInstr * 8 / uint64(o.scale)
+		cfg.MeasureInstr = cfg.MeasureInstr * 8 / uint64(o.scale)
+	}
+	if o.warmup > 0 {
+		cfg.WarmupInstr = o.warmup
+	}
+	if o.measure > 0 {
+		cfg.MeasureInstr = o.measure
+	}
+	return cfg
+}
+
 func main() {
-	var (
-		exp     = flag.String("exp", "", "experiment id (fig1..fig11, table1/4/5, shared, mt, prefetch, spills, limited, ablation) or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		scale   = flag.Int("scale", 8, "geometry scale divisor (1 = the paper's absolute sizes; slow)")
-		warmup  = flag.Uint64("warmup", 0, "warmup instructions per core (0 = default for the scale)")
-		measure = flag.Uint64("measure", 0, "measured instructions per core (0 = default for the scale)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		seeds   = flag.Int("seeds", 1, "with -mix: repeat over N seeds and report mean ± 95% CI")
-		mix     = flag.String("mix", "", "ad-hoc mix to run, e.g. 445+456 or 445+401+444+456")
-		policy  = flag.String("policy", "AVGCC", "policy for -mix/-trace (baseline, CC, DSR, DSR+DIP, DSR-3S, ECC, LRS, LMS, GMS, LMS+BIP, GMS+SABIP, ASCC, ASCC-2S, AVGCC, QoS-AVGCC)")
-		format  = flag.String("format", "text", "experiment output format: text, csv or json")
-		traces  = flag.String("trace", "", "comma-separated trace files (.trc binary or .csv), one per core, replayed under -policy")
-	)
+	var o options
+	flag.StringVar(&o.exp, "exp", "", "experiment id (fig1..fig11, table1/4/5, shared, mt, prefetch, spills, limited, ablation) or 'all'")
+	flag.BoolVar(&o.list, "list", false, "list experiment ids and exit")
+	flag.IntVar(&o.scale, "scale", 8, "geometry scale divisor (1 = the paper's absolute sizes; slow)")
+	flag.Uint64Var(&o.warmup, "warmup", 0, "warmup instructions per core (0 = default for the scale)")
+	flag.Uint64Var(&o.measure, "measure", 0, "measured instructions per core (0 = default for the scale)")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.seeds, "seeds", 1, "with -mix: repeat over N seeds and report mean ± 95% CI")
+	flag.IntVar(&o.parallel, "parallel", 0, "max simulations in flight (0 = all CPUs, 1 = sequential; results are identical at every setting)")
+	flag.StringVar(&o.mix, "mix", "", "ad-hoc mix to run, e.g. 445+456 or 445+401+444+456")
+	flag.StringVar(&o.policy, "policy", "AVGCC", "policy for -mix/-trace (baseline, CC, DSR, DSR+DIP, DSR-3S, ECC, LRS, LMS, GMS, LMS+BIP, GMS+SABIP, ASCC, ASCC-2S, AVGCC, QoS-AVGCC)")
+	flag.StringVar(&o.format, "format", "text", "experiment output format: text, csv or json")
+	flag.StringVar(&o.traces, "trace", "", "comma-separated trace files (.trc binary or .csv), one per core, replayed under -policy")
 	flag.Parse()
 
-	if *list {
+	if o.list {
 		fmt.Println("experiments (paper artefact -> id):")
 		for _, id := range ascc.ExperimentIDs() {
 			fmt.Println("  " + id)
 		}
 		return
 	}
-
-	cfg := ascc.DefaultConfig()
-	cfg.Scale = *scale
-	cfg.Seed = *seed
-	if *scale != 8 {
-		// Scale the default budgets so reuse cycles complete (DESIGN.md §5).
-		cfg.WarmupInstr = cfg.WarmupInstr * 8 / uint64(*scale)
-		cfg.MeasureInstr = cfg.MeasureInstr * 8 / uint64(*scale)
+	if err := o.validate(); err != nil {
+		fail(err)
 	}
-	if *warmup > 0 {
-		cfg.WarmupInstr = *warmup
-	}
-	if *measure > 0 {
-		cfg.MeasureInstr = *measure
-	}
+	cfg := o.config()
 
 	switch {
-	case *traces != "":
-		if err := runTraces(cfg, *traces, *policy); err != nil {
+	case o.traces != "":
+		if err := runTraces(cfg, o.traces, o.policy); err != nil {
 			fail(err)
 		}
-	case *mix != "" && *seeds > 1:
-		if err := runMixSeeds(cfg, *mix, *policy, *seeds); err != nil {
+	case o.mix != "" && o.seeds > 1:
+		if err := runMixSeeds(cfg, o.mix, o.policy, o.seeds); err != nil {
 			fail(err)
 		}
-	case *mix != "":
-		if err := runMix(cfg, *mix, *policy); err != nil {
+	case o.mix != "":
+		if err := runMix(cfg, o.mix, o.policy); err != nil {
 			fail(err)
 		}
-	case *exp == "all":
+	case o.exp == "all":
+		// One pool for the whole evaluation: experiments run one at a time
+		// (so tables stream in paper order) but fan their simulations out
+		// across the workers and share memoised baseline runs suite-wide.
+		cfg = cfg.WithPool(ascc.NewPool(cfg.Parallel))
 		for _, id := range ascc.ExperimentIDs() {
-			if err := runExperiment(cfg, id, *format); err != nil {
+			if err := runExperiment(cfg, id, o.format); err != nil {
 				fail(err)
 			}
 		}
-	case *exp != "":
-		if err := runExperiment(cfg, *exp, *format); err != nil {
+	case o.exp != "":
+		if err := runExperiment(cfg, o.exp, o.format); err != nil {
 			fail(err)
 		}
 	default:
@@ -176,6 +242,9 @@ func runMix(cfg ascc.Config, mixSpec, policy string) error {
 		return err
 	}
 	runner := ascc.NewRunner(cfg)
+	// The runner memoises registry runs, so when -policy is "baseline" the
+	// comparison below reuses the base simulation instead of repeating it,
+	// and the alone-CPI calibrations share any single-app runs already done.
 	base, err := runner.RunMix(mixIDs, ascc.Baseline)
 	if err != nil {
 		return err

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// base returns the options the flag defaults produce.
+func base() options {
+	return options{scale: 8, seeds: 1, policy: "AVGCC", format: "text"}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // empty = valid
+	}{
+		{"defaults", func(o *options) { o.exp = "fig8" }, ""},
+		{"scale zero", func(o *options) { o.scale = 0 }, "-scale"},
+		{"scale negative", func(o *options) { o.scale = -1 }, "-scale"},
+		{"seeds zero", func(o *options) { o.seeds = 0 }, "-seeds"},
+		{"parallel negative", func(o *options) { o.parallel = -2 }, "-parallel"},
+		{"bad format", func(o *options) { o.format = "xml" }, "format"},
+		{"seeds without mix", func(o *options) { o.exp = "fig8"; o.seeds = 5 }, "-seeds"},
+		{"seeds with mix ok", func(o *options) { o.mix = "445+456"; o.seeds = 5 }, ""},
+		{"csv with mix", func(o *options) { o.mix = "445+456"; o.format = "csv" }, "-format"},
+		{"json with trace", func(o *options) { o.traces = "a.trc"; o.format = "json" }, "-format"},
+		{"mix and trace", func(o *options) { o.mix = "445"; o.traces = "a.trc" }, "mutually exclusive"},
+		{"exp and mix", func(o *options) { o.exp = "fig8"; o.mix = "445+456" }, "-exp"},
+		{"exp and trace", func(o *options) { o.exp = "fig8"; o.traces = "a.trc" }, "-exp"},
+		{"parallel ok", func(o *options) { o.exp = "all"; o.parallel = 8 }, ""},
+	}
+	for _, tc := range cases {
+		o := base()
+		tc.mutate(&o)
+		err := o.validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted, want error mentioning %q", tc.name, tc.wantErr)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestConfigBudgetRescale checks the scale-relative instruction budgets that
+// used to divide by zero at -scale 0 (now rejected by validate).
+func TestConfigBudgetRescale(t *testing.T) {
+	o := base()
+	o.scale = 4
+	cfg := o.config()
+	if cfg.Scale != 4 {
+		t.Fatalf("scale %d", cfg.Scale)
+	}
+	def := base().config()
+	if cfg.WarmupInstr != def.WarmupInstr*2 || cfg.MeasureInstr != def.MeasureInstr*2 {
+		t.Fatalf("budgets not rescaled: %d/%d vs default %d/%d",
+			cfg.WarmupInstr, cfg.MeasureInstr, def.WarmupInstr, def.MeasureInstr)
+	}
+	o = base()
+	o.warmup, o.measure = 111, 222
+	cfg = o.config()
+	if cfg.WarmupInstr != 111 || cfg.MeasureInstr != 222 {
+		t.Fatalf("explicit budgets not honoured: %d/%d", cfg.WarmupInstr, cfg.MeasureInstr)
+	}
+	o = base()
+	o.parallel = 3
+	if o.config().Parallel != 3 {
+		t.Fatal("parallel not propagated to the config")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	ids, err := parseMix("445+401+444+456")
+	if err != nil || len(ids) != 4 || ids[0] != 445 || ids[3] != 456 {
+		t.Fatalf("parseMix = %v, %v", ids, err)
+	}
+	if _, err := parseMix("445+abc"); err == nil {
+		t.Fatal("bad mix element accepted")
+	}
+}

@@ -13,7 +13,7 @@ import (
 // ASCC variants over the 4-core mixes and reports weighted-speedup
 // geomeans.
 func Ablation(cfg harness.Config) (Result, error) {
-	r := harness.NewRunner(cfg)
+	r := harness.SharedRunner(cfg)
 	sets, ways := cfg.L2Geometry()
 
 	base := func() policies.ASCCConfig {
@@ -68,27 +68,39 @@ func Ablation(cfg harness.Config) (Result, error) {
 			"ablates the choices of DESIGN.md §6 the paper leaves open",
 		},
 	}
-	for _, v := range variants {
-		var imps []float64
-		for _, mix := range workload.FourAppMixes() {
-			alone, err := r.AloneCPIs(mix)
-			if err != nil {
-				return Result{}, err
-			}
-			baseRun, err := r.RunMix(mix, harness.PBaseline)
-			if err != nil {
-				return Result{}, err
-			}
-			pol := policies.NewASCCVariant(v.name, v.mk())
-			run, err := r.RunMixWith(mix, pol)
-			if err != nil {
-				return Result{}, err
-			}
-			imps = append(imps, metrics.Improvement(
-				metrics.WeightedSpeedup(metrics.CPIs(run), alone),
-				metrics.WeightedSpeedup(metrics.CPIs(baseRun), alone)))
+	// Each variant run owns its policy state (RunMixWith is uncached), so
+	// the (variant, mix) grid collects improvements by index; the baseline
+	// and alone runs dedupe through the runner's memoised cache.
+	mixes := workload.FourAppMixes()
+	imps := make([][]float64, len(variants))
+	for i := range imps {
+		imps[i] = make([]float64, len(mixes))
+	}
+	if err := harness.ForEach(len(variants)*len(mixes), func(k int) error {
+		vi, mi := k/len(mixes), k%len(mixes)
+		mix := mixes[mi]
+		alone, err := r.AloneCPIs(mix)
+		if err != nil {
+			return err
 		}
-		g := metrics.GeomeanImprovement(imps)
+		baseRun, err := r.RunMix(mix, harness.PBaseline)
+		if err != nil {
+			return err
+		}
+		pol := policies.NewASCCVariant(variants[vi].name, variants[vi].mk())
+		run, err := r.RunMixWith(mix, pol)
+		if err != nil {
+			return err
+		}
+		imps[vi][mi] = metrics.Improvement(
+			metrics.WeightedSpeedup(metrics.CPIs(run), alone),
+			metrics.WeightedSpeedup(metrics.CPIs(baseRun), alone))
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for vi, v := range variants {
+		g := metrics.GeomeanImprovement(imps[vi])
 		res.Table.Rows = append(res.Table.Rows, []string{v.name, harness.Pct(g)})
 		res.set(v.name, g)
 	}

@@ -48,7 +48,13 @@ func speedupImprovement(r *harness.Runner, mix []int, id harness.PolicyID) (floa
 	return metrics.Improvement(ws, wsBase), nil
 }
 
-// All runs the complete reproduction suite in paper order.
+// All runs the complete reproduction suite in paper order. The experiments
+// execute concurrently on one shared worker pool of cfg.Parallel slots
+// (Config.Parallel = 1 recovers the sequential suite), sharing memoised
+// alone-CPI and baseline simulations wherever their configurations
+// coincide. The returned slice is always in paper order and bit-identical
+// to a sequential run: every simulation is deterministic in (config,
+// workload, policy, seed) and every aggregation collects by index.
 func All(cfg harness.Config) ([]Result, error) {
 	type runner func(harness.Config) (Result, error)
 	steps := []runner{
@@ -57,18 +63,26 @@ func All(cfg harness.Config) ([]Result, error) {
 		Multithreaded, Prefetcher, Table4, SpillBehavior,
 		LimitedCounters, Fig11, Table5, Ablation, FutureWork,
 	}
-	out := make([]Result, 0, len(steps))
-	for _, st := range steps {
-		res, err := st(cfg)
+	cfg = cfg.EnsurePool()
+	out := make([]Result, len(steps))
+	err := harness.ForEach(len(steps), func(i int) error {
+		res, err := steps[i](cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
+			return fmt.Errorf("experiments: %w", err)
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// ByID runs a single experiment by its identifier.
+// ByID runs a single experiment by its identifier. The experiment's
+// simulations fan out on the configuration's worker pool (Config.Parallel
+// slots; attach a shared pool with Config.WithPool to reuse baseline runs
+// across several ByID calls).
 func ByID(cfg harness.Config, id string) (Result, error) {
 	m := map[string]func(harness.Config) (Result, error){
 		"fig1":       Fig1,
@@ -95,7 +109,7 @@ func ByID(cfg harness.Config, id string) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q (see DESIGN.md §4)", id)
 	}
-	return fn(cfg)
+	return fn(cfg.EnsurePool())
 }
 
 // IDs lists the experiment identifiers in paper order.

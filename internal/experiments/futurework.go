@@ -12,7 +12,7 @@ import (
 // metrics"): ASCC with saturation ceilings from K+2 to 4K-1, and ASCC with
 // the miss-ratio EWMA metric instead of saturating counters.
 func FutureWork(cfg harness.Config) (Result, error) {
-	r := harness.NewRunner(cfg)
+	r := harness.SharedRunner(cfg)
 	sets, ways := cfg.L2Geometry()
 
 	variants := []struct {
@@ -52,26 +52,37 @@ func FutureWork(cfg harness.Config) (Result, error) {
 			"the paper proposes tuning the saturation-counter limits and exploring other metrics",
 		},
 	}
-	for _, v := range variants {
-		var imps []float64
-		for _, mix := range workload.FourAppMixes() {
-			alone, err := r.AloneCPIs(mix)
-			if err != nil {
-				return Result{}, err
-			}
-			base, err := r.RunMix(mix, harness.PBaseline)
-			if err != nil {
-				return Result{}, err
-			}
-			run, err := r.RunMixWith(mix, v.mk())
-			if err != nil {
-				return Result{}, err
-			}
-			imps = append(imps, metrics.Improvement(
-				metrics.WeightedSpeedup(metrics.CPIs(run), alone),
-				metrics.WeightedSpeedup(metrics.CPIs(base), alone)))
+	// RunMixWith variants own their policy state, so the (variant, mix)
+	// grid collects by index; baseline and alone runs dedupe via the cache.
+	mixes := workload.FourAppMixes()
+	imps := make([][]float64, len(variants))
+	for i := range imps {
+		imps[i] = make([]float64, len(mixes))
+	}
+	if err := harness.ForEach(len(variants)*len(mixes), func(k int) error {
+		vi, mi := k/len(mixes), k%len(mixes)
+		mix := mixes[mi]
+		alone, err := r.AloneCPIs(mix)
+		if err != nil {
+			return err
 		}
-		g := metrics.GeomeanImprovement(imps)
+		base, err := r.RunMix(mix, harness.PBaseline)
+		if err != nil {
+			return err
+		}
+		run, err := r.RunMixWith(mix, variants[vi].mk())
+		if err != nil {
+			return err
+		}
+		imps[vi][mi] = metrics.Improvement(
+			metrics.WeightedSpeedup(metrics.CPIs(run), alone),
+			metrics.WeightedSpeedup(metrics.CPIs(base), alone))
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for vi, v := range variants {
+		g := metrics.GeomeanImprovement(imps[vi])
 		res.Table.Rows = append(res.Table.Rows, []string{v.name, harness.Pct(g)})
 		res.set(v.name, g)
 	}

@@ -33,9 +33,11 @@ func fig1Cache(cfg harness.Config, w int) cachesim.Config {
 }
 
 // Fig1 reproduces Figure 1: MPKI and CPI as the number of enabled ways of a
-// 2 MB/16-way L2 grows from 2 to 16, plus full associativity.
+// 2 MB/16-way L2 grows from 2 to 16, plus full associativity. The
+// (benchmark, ways) grid fans out on the worker pool and is assembled by
+// index, so the table is identical at every Config.Parallel setting.
 func Fig1(cfg harness.Config) (Result, error) {
-	r := harness.NewRunner(cfg)
+	r := harness.SharedRunner(cfg)
 	ways := []int{2, 4, 6, 8, 10, 12, 14, 16, 0} // 0 = fully associative
 	res := Result{ID: "fig1"}
 	res.Table = harness.Table{
@@ -45,25 +47,37 @@ func Fig1(cfg harness.Config) (Result, error) {
 			"upper rows can offer capacity; lower rows benefit from more ways (paper Fig. 1)",
 		},
 	}
-	for _, id := range fig1Benchmarks {
+	type cell struct{ mpki, cpi float64 }
+	cells := make([][]cell, len(fig1Benchmarks))
+	for i := range cells {
+		cells[i] = make([]cell, len(ways))
+	}
+	if err := harness.ForEach(len(fig1Benchmarks)*len(ways), func(k int) error {
+		bi, wi := k/len(ways), k%len(ways)
+		params := cfg.Params(1)
+		params.L2 = fig1Cache(cfg, ways[wi])
+		run, _, err := r.RunSingle(fig1Benchmarks[bi], params)
+		if err != nil {
+			return err
+		}
+		cells[bi][wi] = cell{mpki: run.Cores[0].MPKI(), cpi: run.Cores[0].CPI()}
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for bi, id := range fig1Benchmarks {
 		p := workload.MustByID(id)
 		mpkiRow := []string{p.Name, "MPKI"}
 		cpiRow := []string{"", "CPI"}
-		for _, w := range ways {
-			params := cfg.Params(1)
-			params.L2 = fig1Cache(cfg, w)
-			run, _, err := r.RunSingle(id, params)
-			if err != nil {
-				return Result{}, err
-			}
-			c := run.Cores[0]
-			mpkiRow = append(mpkiRow, fmt.Sprintf("%.2f", c.MPKI()))
-			cpiRow = append(cpiRow, fmt.Sprintf("%.2f", c.CPI()))
+		for wi, w := range ways {
+			c := cells[bi][wi]
+			mpkiRow = append(mpkiRow, fmt.Sprintf("%.2f", c.mpki))
+			cpiRow = append(cpiRow, fmt.Sprintf("%.2f", c.cpi))
 			if w == 2 {
-				res.set(fmt.Sprintf("%s/mpki@2", p.Name), c.MPKI())
+				res.set(fmt.Sprintf("%s/mpki@2", p.Name), c.mpki)
 			}
 			if w == 16 {
-				res.set(fmt.Sprintf("%s/mpki@16", p.Name), c.MPKI())
+				res.set(fmt.Sprintf("%s/mpki@16", p.Name), c.mpki)
 			}
 		}
 		res.Table.Rows = append(res.Table.Rows, mpkiRow, cpiRow)
@@ -75,7 +89,7 @@ func Fig1(cfg harness.Config) (Result, error) {
 // ways (favored) versus sets that remain unchanged (constant), for astar and
 // milc, comparing each way count with two fewer ways.
 func Fig2(cfg harness.Config) (Result, error) {
-	r := harness.NewRunner(cfg)
+	r := harness.SharedRunner(cfg)
 	ways := []int{4, 6, 8, 10, 12, 14, 16}
 	res := Result{ID: "fig2"}
 	res.Table = harness.Table{
@@ -85,24 +99,38 @@ func Fig2(cfg harness.Config) (Result, error) {
 			"a set is favored when its MPKI drops >1% vs the run with 2 fewer ways (paper §2)",
 		},
 	}
-	for _, id := range []int{473, 433} { // astar (a), milc (b)
+	benchmarks := []int{473, 433} // astar (a), milc (b)
+	allWays := append([]int{2}, ways...)
+	// Per-set miss rates for every (benchmark, way count), fanned out on
+	// the worker pool and collected by index.
+	countsAt := make([][][]float64, len(benchmarks))
+	for i := range countsAt {
+		countsAt[i] = make([][]float64, len(allWays))
+	}
+	if err := harness.ForEach(len(benchmarks)*len(allWays), func(k int) error {
+		bi, wi := k/len(allWays), k%len(allWays)
+		params := cfg.Params(1)
+		params.L2 = fig1Cache(cfg, allWays[wi])
+		run, sys, err := r.RunSingle(benchmarks[bi], params)
+		if err != nil {
+			return err
+		}
+		instr := float64(run.Cores[0].Instructions)
+		l2 := sys.L2(0)
+		counts := make([]float64, l2.NumSets())
+		for s := 0; s < l2.NumSets(); s++ {
+			counts[s] = float64(l2.SetStatsFor(s).Misses) / instr * 1000
+		}
+		countsAt[bi][wi] = counts
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for bi, id := range benchmarks {
 		p := workload.MustByID(id)
-		// Collect per-set miss counts for each way count.
-		perSet := map[int][]float64{}
-		for _, w := range append([]int{2}, ways...) {
-			params := cfg.Params(1)
-			params.L2 = fig1Cache(cfg, w)
-			run, sys, err := r.RunSingle(id, params)
-			if err != nil {
-				return Result{}, err
-			}
-			instr := float64(run.Cores[0].Instructions)
-			l2 := sys.L2(0)
-			counts := make([]float64, l2.NumSets())
-			for s := 0; s < l2.NumSets(); s++ {
-				counts[s] = float64(l2.SetStatsFor(s).Misses) / instr * 1000
-			}
-			perSet[w] = counts
+		perSet := make(map[int][]float64, len(allWays))
+		for wi, w := range allWays {
+			perSet[w] = countsAt[bi][wi]
 		}
 		for _, w := range ways {
 			cur, prev := perSet[w], perSet[w-2]

@@ -16,8 +16,18 @@ import (
 // execution time (completion time of the slowest thread) over the baseline.
 func Multithreaded(cfg harness.Config) (Result, error) {
 	cfg.L2SizeBytes = 512 * 1024 // paper-scale; harness divides by Scale
-	r := harness.NewRunner(cfg)
+	r := harness.SharedRunner(cfg)
 	pols := []harness.PolicyID{harness.PDSR, harness.PECC, harness.PASCC, harness.PAVGCC}
+	// Warm the memoised cache: every workload under the baseline and each
+	// policy, fanned out on the worker pool.
+	profiles := workload.MTProfiles()
+	ids := append([]harness.PolicyID{harness.PBaseline}, pols...)
+	if err := harness.ForEach(len(profiles)*len(ids), func(k int) error {
+		_, err := r.RunMT(profiles[k/len(ids)].Name, 4, ids[k%len(ids)])
+		return err
+	}); err != nil {
+		return Result{}, err
+	}
 	res := Result{ID: "mt"}
 	header := []string{"workload"}
 	for _, p := range pols {
@@ -78,6 +88,18 @@ func Prefetcher(cfg harness.Config) (Result, error) {
 		Header: []string{"cores", "ASCC", "AVGCC"},
 		Notes:  []string{"paper: ASCC +6%/+5.5% and AVGCC +6.4%/+7.6% (2/4 cores)"},
 	}
+	r := harness.SharedRunner(cfg)
+	// Warm the memoised cache: both policies over both mix sets, fanned
+	// out on the worker pool (2- and 4-core mixes never share a cache key,
+	// so one runner serves both groups).
+	allMixes := append(append([][]int{}, workload.TwoAppMixes()...), workload.FourAppMixes()...)
+	warmPols := []harness.PolicyID{harness.PASCC, harness.PAVGCC}
+	if err := harness.ForEach(len(allMixes)*len(warmPols), func(k int) error {
+		_, err := speedupImprovement(r, allMixes[k/len(warmPols)], warmPols[k%len(warmPols)])
+		return err
+	}); err != nil {
+		return Result{}, err
+	}
 	for _, group := range []struct {
 		cores int
 		mixes [][]int
@@ -85,7 +107,6 @@ func Prefetcher(cfg harness.Config) (Result, error) {
 		{2, workload.TwoAppMixes()},
 		{4, workload.FourAppMixes()},
 	} {
-		r := harness.NewRunner(cfg)
 		var ascc, avgcc []float64
 		for _, mix := range group.mixes {
 			a, err := speedupImprovement(r, mix, harness.PASCC)
@@ -113,16 +134,42 @@ func Prefetcher(cfg harness.Config) (Result, error) {
 // off-chip accesses versus the baseline for 1, 2 and 4 MB caches (paper
 // scale), with the storage overhead from the cost model.
 func Table4(cfg harness.Config) (Result, error) {
+	cfg = cfg.EnsurePool() // the warm and assembly phases must share runners
 	res := Result{ID: "table4"}
 	res.Table = harness.Table{
 		Title:  "Table 4: AVGCC off-chip access reduction vs cache size",
 		Header: []string{"cache size", "4-core reduction", "2-core reduction", "storage overhead"},
 		Notes:  []string{"paper: 27%/14% at 1 MB, 12%/9% at 2 and 4 MB, 0.17% overhead (kB-rounded)"},
 	}
-	for _, size := range []int{1 << 20, 2 << 20, 4 << 20} {
+	// Warm the memoised caches of all three cache-size runners at once, so
+	// the whole (size, mix, policy) cube fans out on one worker pool.
+	sizes := []int{1 << 20, 2 << 20, 4 << 20}
+	allMixes := append(append([][]int{}, workload.FourAppMixes()...), workload.TwoAppMixes()...)
+	type task struct {
+		r   *harness.Runner
+		mix []int
+		id  harness.PolicyID
+	}
+	tasks := make([]task, 0, len(sizes)*len(allMixes)*2)
+	for _, size := range sizes {
 		c := cfg
 		c.L2SizeBytes = size
-		r := harness.NewRunner(c)
+		r := harness.SharedRunner(c)
+		for _, mix := range allMixes {
+			tasks = append(tasks,
+				task{r, mix, harness.PBaseline}, task{r, mix, harness.PAVGCC})
+		}
+	}
+	if err := harness.ForEach(len(tasks), func(i int) error {
+		_, err := tasks[i].r.RunMix(tasks[i].mix, tasks[i].id)
+		return err
+	}); err != nil {
+		return Result{}, err
+	}
+	for _, size := range sizes {
+		c := cfg
+		c.L2SizeBytes = size
+		r := harness.SharedRunner(c)
 		reduction := func(mixes [][]int) (float64, error) {
 			var base, avgcc uint64
 			for _, mix := range mixes {
@@ -163,7 +210,7 @@ func Table4(cfg harness.Config) (Result, error) {
 // LimitedCounters reproduces the §7 storage-reduction study: AVGCC capped
 // at a fraction of the full counter count, with the paper-scale storage cost.
 func LimitedCounters(cfg harness.Config) (Result, error) {
-	r := harness.NewRunner(cfg)
+	r := harness.SharedRunner(cfg)
 	sets, ways := cfg.L2Geometry()
 	res := Result{ID: "limited"}
 	res.Table = harness.Table{
@@ -172,33 +219,46 @@ func LimitedCounters(cfg harness.Config) (Result, error) {
 		Notes:  []string{"paper: +6.8% with 128 counters (83 B), +7.1% with 2048 (1284 B), +7.8% unlimited"},
 	}
 	paperGeom := cost.PaperGeometry()
-	for _, frac := range []int{32, 2, 1} { // sets/32, sets/2, unlimited
-		maxCounters := sets / frac
-		var imps []float64
-		for _, mix := range workload.FourAppMixes() {
-			alone, err := r.AloneCPIs(mix)
-			if err != nil {
-				return Result{}, err
-			}
-			base, err := r.RunMix(mix, harness.PBaseline)
-			if err != nil {
-				return Result{}, err
-			}
-			pcfg := policies.AVGCCDefaultConfig(len(mix), sets, ways, cfg.Seed)
-			pcfg.ResizePeriod = cfg.ResizePeriod()
-			if frac > 1 {
-				pcfg.MaxCounters = maxCounters
-			}
-			pol := policies.NewASCCVariant(fmt.Sprintf("AVGCC-max%d", maxCounters), pcfg)
-			run, err := r.RunMixWith(mix, pol)
-			if err != nil {
-				return Result{}, err
-			}
-			imps = append(imps, metrics.Improvement(
-				metrics.WeightedSpeedup(metrics.CPIs(run), alone),
-				metrics.WeightedSpeedup(metrics.CPIs(base), alone)))
+	fracs := []int{32, 2, 1} // sets/32, sets/2, unlimited
+	mixes := workload.FourAppMixes()
+	// RunMixWith policies are caller-owned state, so the (fraction, mix)
+	// grid collects by index instead of warming a cache.
+	imps := make([][]float64, len(fracs))
+	for i := range imps {
+		imps[i] = make([]float64, len(mixes))
+	}
+	if err := harness.ForEach(len(fracs)*len(mixes), func(k int) error {
+		fi, mi := k/len(mixes), k%len(mixes)
+		frac, mix := fracs[fi], mixes[mi]
+		alone, err := r.AloneCPIs(mix)
+		if err != nil {
+			return err
 		}
-		g := metrics.GeomeanImprovement(imps)
+		base, err := r.RunMix(mix, harness.PBaseline)
+		if err != nil {
+			return err
+		}
+		maxCounters := sets / frac
+		pcfg := policies.AVGCCDefaultConfig(len(mix), sets, ways, cfg.Seed)
+		pcfg.ResizePeriod = cfg.ResizePeriod()
+		if frac > 1 {
+			pcfg.MaxCounters = maxCounters
+		}
+		pol := policies.NewASCCVariant(fmt.Sprintf("AVGCC-max%d", maxCounters), pcfg)
+		run, err := r.RunMixWith(mix, pol)
+		if err != nil {
+			return err
+		}
+		imps[fi][mi] = metrics.Improvement(
+			metrics.WeightedSpeedup(metrics.CPIs(run), alone),
+			metrics.WeightedSpeedup(metrics.CPIs(base), alone))
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for fi, frac := range fracs {
+		maxCounters := sets / frac
+		g := metrics.GeomeanImprovement(imps[fi])
 		paperCounters := paperGeom.Sets() / frac
 		rep := cost.AVGCCReport(paperGeom, paperCounters)
 		label := fmt.Sprintf("%d (sets/%d)", maxCounters, frac)
@@ -217,7 +277,17 @@ func LimitedCounters(cfg harness.Config) (Result, error) {
 // Fig11 reproduces Figure 11: QoS-Aware AVGCC versus AVGCC on the 2-core
 // mixes, plus the 4-core geomean the paper gives in the text (8.1%).
 func Fig11(cfg harness.Config) (Result, error) {
-	r := harness.NewRunner(cfg)
+	r := harness.SharedRunner(cfg)
+	// Warm the memoised cache: AVGCC and QoS-AVGCC over both mix sets,
+	// fanned out on the worker pool.
+	allMixes := append(append([][]int{}, workload.TwoAppMixes()...), workload.FourAppMixes()...)
+	warmPols := []harness.PolicyID{harness.PAVGCC, harness.PQoSAVGCC}
+	if err := harness.ForEach(len(allMixes)*len(warmPols), func(k int) error {
+		_, err := speedupImprovement(r, allMixes[k/len(warmPols)], warmPols[k%len(warmPols)])
+		return err
+	}); err != nil {
+		return Result{}, err
+	}
 	res := Result{ID: "fig11"}
 	res.Table = harness.Table{
 		Title:  "Figure 11: QoS-Aware AVGCC vs AVGCC (2 cores)",

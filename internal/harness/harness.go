@@ -7,6 +7,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ascc/internal/cmp"
 	"ascc/internal/coop"
@@ -35,6 +37,32 @@ type Config struct {
 	// scale (it is divided by Scale like everything else). Table 4 and the
 	// multithreaded study use it.
 	L2SizeBytes int
+	// Parallel bounds how many simulations run at once: 0 uses all CPUs
+	// (runtime.NumCPU), 1 recovers sequential execution. Results are
+	// bit-identical at every setting; only wall-clock changes.
+	Parallel int
+
+	// pool, when non-nil, is the worker pool shared by every Runner built
+	// from this configuration (set via WithPool / EnsurePool). The zero
+	// value gives each Runner a private pool of Parallel slots.
+	pool *Pool
+}
+
+// WithPool returns a copy of the configuration whose runners share pool p:
+// they contend for its worker slots and, through Pool.Runner, share
+// memoised simulations across experiments with identical configurations.
+func (c Config) WithPool(p *Pool) Config {
+	c.pool = p
+	return c
+}
+
+// EnsurePool returns the configuration carrying a worker pool, attaching a
+// fresh one of Parallel slots if none is shared yet.
+func (c Config) EnsurePool() Config {
+	if c.pool == nil {
+		c.pool = NewPool(c.Parallel)
+	}
+	return c
 }
 
 // DefaultConfig returns the standard fast configuration.
@@ -152,18 +180,88 @@ func NewPolicy(id PolicyID, caches, sets, ways int, seed uint64, resizePeriod ui
 	return nil, fmt.Errorf("harness: unknown policy %q", id)
 }
 
-// Runner executes mixes under policies, caching the single-application
-// baseline (alone) CPIs that weighted speedup and fairness normalise by.
+// Runner executes mixes under policies. It is safe for concurrent use: any
+// number of goroutines may issue runs, the configuration's worker pool
+// bounds how many simulations occupy the machine, and a singleflight-style
+// cache memoises every registry run — concurrent requests for the same
+// (mix, policy) pair, including the alone-CPI and baseline-mix simulations
+// that the weighted-speedup metrics repeat across figures, share a single
+// simulation instead of duplicating it.
 type Runner struct {
 	Cfg Config
 
-	aloneCPI map[int]float64
+	pool *Pool
+
+	mu   sync.Mutex
+	runs map[runKey]*inflight
+
+	// nSims counts uncached simulations actually executed (tests assert
+	// the memoisation collapses duplicates with it).
+	nSims atomic.Uint64
 }
 
-// NewRunner builds a Runner for the configuration.
-func NewRunner(cfg Config) *Runner {
-	return &Runner{Cfg: cfg, aloneCPI: map[int]float64{}}
+// runKey identifies one memoisable simulation of the runner's fixed
+// configuration.
+type runKey struct {
+	kind    string // "mix", "shared" or "mt"
+	name    string // mix name (e.g. "445+456") or MT workload name
+	threads int
+	policy  PolicyID
 }
+
+// inflight is a singleflight slot: the first requester simulates, everyone
+// else blocks on done and shares the outcome.
+type inflight struct {
+	done chan struct{}
+	res  cmp.Results
+	err  error
+}
+
+// NewRunner builds a Runner for the configuration, attaching the
+// configuration's shared pool or a private one of Config.Parallel slots.
+func NewRunner(cfg Config) *Runner {
+	p := cfg.pool
+	if p == nil {
+		p = NewPool(cfg.Parallel)
+	}
+	return newRunner(cfg, p)
+}
+
+func newRunner(cfg Config, p *Pool) *Runner {
+	cfg.pool = p
+	return &Runner{Cfg: cfg, pool: p, runs: map[runKey]*inflight{}}
+}
+
+// memo returns the cached result for key, running f exactly once per key
+// even under concurrent callers.
+func (r *Runner) memo(key runKey, f func() (cmp.Results, error)) (cmp.Results, error) {
+	r.mu.Lock()
+	if c, ok := r.runs[key]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &inflight{done: make(chan struct{})}
+	r.runs[key] = c
+	r.mu.Unlock()
+	c.res, c.err = f()
+	close(c.done)
+	return c.res, c.err
+}
+
+// simulate executes a built system while holding a pool worker slot.
+func (r *Runner) simulate(sys interface {
+	Run(warmup, measure uint64) cmp.Results
+}) cmp.Results {
+	r.nSims.Add(1)
+	var res cmp.Results
+	r.pool.run(func() { res = sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr) })
+	return res
+}
+
+// Simulations reports how many simulations this runner has actually
+// executed (cache hits excluded).
+func (r *Runner) Simulations() uint64 { return r.nSims.Load() }
 
 // timingFor converts profiles into core timing parameters.
 func timingFor(profs []workload.Profile) []cmp.CoreTiming {
@@ -175,54 +273,59 @@ func timingFor(profs []workload.Profile) []cmp.CoreTiming {
 }
 
 // AloneCPI returns benchmark id's CPI when running alone on a single-core
-// baseline machine of the configured geometry (memoised).
+// baseline machine of the configured geometry. The underlying simulation is
+// memoised: every figure that normalises against the same benchmark shares
+// one run, even when they request it concurrently.
 func (r *Runner) AloneCPI(id int) (float64, error) {
-	if cpi, ok := r.aloneCPI[id]; ok {
-		return cpi, nil
-	}
 	res, err := r.RunMix([]int{id}, PBaseline)
 	if err != nil {
 		return 0, err
 	}
-	cpi := res.Cores[0].CPI()
-	r.aloneCPI[id] = cpi
-	return cpi, nil
+	return res.Cores[0].CPI(), nil
 }
 
-// AloneCPIs resolves alone CPIs for a whole mix.
+// AloneCPIs resolves alone CPIs for a whole mix, fanning the uncached
+// calibration runs out on the worker pool.
 func (r *Runner) AloneCPIs(mix []int) ([]float64, error) {
 	out := make([]float64, len(mix))
-	for i, id := range mix {
-		cpi, err := r.AloneCPI(id)
-		if err != nil {
-			return nil, err
-		}
+	err := ForEach(len(mix), func(i int) error {
+		cpi, err := r.AloneCPI(mix[i])
 		out[i] = cpi
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// RunMix runs a multiprogrammed mix under a registry policy.
+// RunMix runs a multiprogrammed mix under a registry policy (memoised —
+// callers share the returned Results and must not mutate them).
 func (r *Runner) RunMix(mix []int, id PolicyID) (cmp.Results, error) {
-	gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	p := r.Cfg.params(len(mix))
-	sets, ways := r.Cfg.L2Geometry()
-	pol, err := NewPolicy(id, len(mix), sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	sys, err := cmp.New(p, gens, timingFor(profs), pol)
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	return sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr), nil
+	key := runKey{kind: "mix", name: workload.MixName(mix), policy: id}
+	return r.memo(key, func() (cmp.Results, error) {
+		gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		p := r.Cfg.params(len(mix))
+		sets, ways := r.Cfg.L2Geometry()
+		pol, err := NewPolicy(id, len(mix), sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		sys, err := cmp.New(p, gens, timingFor(profs), pol)
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		return r.simulate(sys), nil
+	})
 }
 
 // RunMixWith runs a mix under an explicitly constructed policy (for the
-// granularity sweep and other parameterised variants).
+// granularity sweep and other parameterised variants). The policy instance
+// is caller-owned mutable state, so these runs are pool-bounded but never
+// memoised.
 func (r *Runner) RunMixWith(mix []int, pol coop.Policy) (cmp.Results, error) {
 	gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
 	if err != nil {
@@ -232,49 +335,55 @@ func (r *Runner) RunMixWith(mix []int, pol coop.Policy) (cmp.Results, error) {
 	if err != nil {
 		return cmp.Results{}, err
 	}
-	return sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr), nil
+	return r.simulate(sys), nil
 }
 
-// RunShared runs a mix on the shared-LLC machine of §6.1.
+// RunShared runs a mix on the shared-LLC machine of §6.1 (memoised).
 func (r *Runner) RunShared(mix []int) (cmp.Results, error) {
-	gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	sp := cmp.DefaultSharedParams(len(mix), r.Cfg.Scale)
-	if r.Cfg.L2SizeBytes > 0 {
-		sp.L2.SizeBytes = r.Cfg.L2SizeBytes / r.Cfg.Scale * len(mix)
-	}
-	sys, err := cmp.NewShared(sp, gens, timingFor(profs))
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	return sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr), nil
+	key := runKey{kind: "shared", name: workload.MixName(mix)}
+	return r.memo(key, func() (cmp.Results, error) {
+		gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		sp := cmp.DefaultSharedParams(len(mix), r.Cfg.Scale)
+		if r.Cfg.L2SizeBytes > 0 {
+			sp.L2.SizeBytes = r.Cfg.L2SizeBytes / r.Cfg.Scale * len(mix)
+		}
+		sys, err := cmp.NewShared(sp, gens, timingFor(profs))
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		return r.simulate(sys), nil
+	})
 }
 
 // RunMT runs a multithreaded workload (threads share one address space)
-// under a registry policy.
+// under a registry policy (memoised).
 func (r *Runner) RunMT(name string, threads int, id PolicyID) (cmp.Results, error) {
-	prof, err := workload.MTProfileByName(name)
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	gens := prof.NewGenerators(threads, rng.Mix64(r.Cfg.Seed^0x317), r.Cfg.Scale)
-	timing := make([]cmp.CoreTiming, threads)
-	for i := range timing {
-		timing[i] = cmp.CoreTiming{BaseCPI: prof.BaseCPI, Overlap: prof.Overlap}
-	}
-	p := r.Cfg.params(threads)
-	sets, ways := r.Cfg.L2Geometry()
-	pol, err := NewPolicy(id, threads, sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	sys, err := cmp.New(p, gens, timing, pol)
-	if err != nil {
-		return cmp.Results{}, err
-	}
-	return sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr), nil
+	key := runKey{kind: "mt", name: name, threads: threads, policy: id}
+	return r.memo(key, func() (cmp.Results, error) {
+		prof, err := workload.MTProfileByName(name)
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		gens := prof.NewGenerators(threads, rng.Mix64(r.Cfg.Seed^0x317), r.Cfg.Scale)
+		timing := make([]cmp.CoreTiming, threads)
+		for i := range timing {
+			timing[i] = cmp.CoreTiming{BaseCPI: prof.BaseCPI, Overlap: prof.Overlap}
+		}
+		p := r.Cfg.params(threads)
+		sets, ways := r.Cfg.L2Geometry()
+		pol, err := NewPolicy(id, threads, sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		sys, err := cmp.New(p, gens, timing, pol)
+		if err != nil {
+			return cmp.Results{}, err
+		}
+		return r.simulate(sys), nil
+	})
 }
 
 // RunSingle runs one benchmark alone on a machine with an explicit L2
@@ -291,7 +400,7 @@ func (r *Runner) RunSingle(id int, p cmp.Params) (cmp.Results, *cmp.System, erro
 	if err != nil {
 		return cmp.Results{}, nil, err
 	}
-	res := sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr)
+	res := r.simulate(sys)
 	return res, sys, nil
 }
 

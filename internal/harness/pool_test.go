@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewPoolDefaultsToNumCPU(t *testing.T) {
+	if got := NewPool(0).Size(); got != runtime.NumCPU() {
+		t.Fatalf("default pool size %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := NewPool(-3).Size(); got != runtime.NumCPU() {
+		t.Fatalf("negative pool size %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := NewPool(5).Size(); got != 5 {
+		t.Fatalf("pool size %d, want 5", got)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(2)
+	var active, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.run(func() {
+				n := active.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				runtime.Gosched()
+				active.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("pool of 2 ran %d simulations at once", got)
+	}
+}
+
+func TestForEachCollectsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	var calls atomic.Int64
+	err := ForEach(8, func(i int) error {
+		calls.Add(1)
+		switch i {
+		case 3:
+			return errA
+		case 6:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the lowest-index error %v", err, errA)
+	}
+	if calls.Load() != 8 {
+		t.Fatalf("%d calls, want all 8 (no short-circuit)", calls.Load())
+	}
+	if err := ForEach(0, func(int) error { return errA }); err != nil {
+		t.Fatalf("empty ForEach returned %v", err)
+	}
+	if err := ForEach(4, func(int) error { return nil }); err != nil {
+		t.Fatalf("clean ForEach returned %v", err)
+	}
+}
+
+// TestRunMixSingleflight drives 8 goroutines at the same (mix, policy) key
+// and asserts exactly one simulation executed with every caller seeing the
+// same result.
+func TestRunMixSingleflight(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	const callers = 8
+	results := make([]float64, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.RunMix([]int{445, 456}, PASCC)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res.Cores[0].CPI()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw CPI %v, caller 0 saw %v", i, results[i], results[0])
+		}
+	}
+	if n := r.Simulations(); n != 1 {
+		t.Fatalf("%d simulations for one key under %d concurrent callers, want 1", n, callers)
+	}
+	// A repeat call is a pure cache hit.
+	if _, err := r.RunMix([]int{445, 456}, PASCC); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Simulations(); n != 1 {
+		t.Fatalf("repeat call re-simulated (%d runs)", n)
+	}
+	// A different policy is a different key.
+	if _, err := r.RunMix([]int{445, 456}, PBaseline); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Simulations(); n != 2 {
+		t.Fatalf("distinct key did not simulate (%d runs)", n)
+	}
+}
+
+// TestAloneCPISharesBaselineRun checks that the alone-CPI calibration and an
+// explicit single-benchmark baseline run share one simulation.
+func TestAloneCPISharesBaselineRun(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	cpi, err := r.AloneCPI(445)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunMix([]int{445}, PBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cores[0].CPI(); got != cpi {
+		t.Fatalf("alone CPI %v != baseline mix CPI %v", cpi, got)
+	}
+	if n := r.Simulations(); n != 1 {
+		t.Fatalf("%d simulations, want 1 shared run", n)
+	}
+}
+
+func TestPoolSharedRunnerPerConfig(t *testing.T) {
+	p := NewPool(2)
+	cfg := tinyConfig()
+	r1, r2 := p.Runner(cfg), p.Runner(cfg)
+	if r1 != r2 {
+		t.Fatal("equal configs must share one runner")
+	}
+	other := cfg
+	other.L2SizeBytes = 512 * 1024
+	if p.Runner(other) == r1 {
+		t.Fatal("distinct configs must not share a runner")
+	}
+	// SharedRunner resolves through the pool only when cfg carries one.
+	if SharedRunner(cfg.WithPool(p)) != r1 {
+		t.Fatal("SharedRunner ignored the attached pool")
+	}
+	if SharedRunner(cfg) == r1 {
+		t.Fatal("SharedRunner without a pool must build a private runner")
+	}
+}
+
+// TestParallelMatchesSequential asserts bit-identical results between a
+// sequential (Parallel=1) and a concurrent (Parallel=8) runner for a grid
+// of mixes and policies issued from many goroutines.
+func TestParallelMatchesSequential(t *testing.T) {
+	mixes := [][]int{{445, 456}, {433, 473}}
+	pols := []PolicyID{PBaseline, PASCC, PAVGCC}
+
+	seqCfg := tinyConfig()
+	seqCfg.Parallel = 1
+	parCfg := tinyConfig()
+	parCfg.Parallel = 8
+
+	collect := func(cfg Config) []string {
+		r := NewRunner(cfg)
+		out := make([]string, len(mixes)*len(pols))
+		err := ForEach(len(out), func(k int) error {
+			res, err := r.RunMix(mixes[k/len(pols)], pols[k%len(pols)])
+			if err != nil {
+				return err
+			}
+			out[k] = fmt.Sprintf("%#v", res.Cores)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := collect(seqCfg), collect(parCfg)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("run %d differs between -parallel 1 and -parallel 8:\n%s\nvs\n%s", i, seq[i], par[i])
+		}
+	}
+}

@@ -65,32 +65,36 @@ func summarise(samples []float64) SeedStats {
 // returning the distribution. Each seed gets fresh generators, policy state
 // and alone-CPI calibrations, so the spread reflects genuine workload
 // randomness rather than measurement noise (the simulator itself is
-// deterministic per seed).
+// deterministic per seed). The seeds fan out on the runner's worker pool;
+// the distribution is identical at every pool size.
 func (r *Runner) SpeedupOverSeeds(mix []int, id PolicyID, n int) (SeedStats, error) {
 	if n <= 0 {
 		return SeedStats{}, fmt.Errorf("harness: non-positive seed count %d", n)
 	}
-	samples := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	samples := make([]float64, n)
+	err := ForEach(n, func(i int) error {
 		cfg := r.Cfg
 		cfg.Seed = r.Cfg.Seed + uint64(i)
-		sub := NewRunner(cfg)
+		sub := NewRunner(cfg) // r.Cfg carries the pool, so sub shares it
 		alone, err := sub.AloneCPIs(mix)
 		if err != nil {
-			return SeedStats{}, err
+			return err
 		}
 		base, err := sub.RunMix(mix, PBaseline)
 		if err != nil {
-			return SeedStats{}, err
+			return err
 		}
 		run, err := sub.RunMix(mix, id)
 		if err != nil {
-			return SeedStats{}, err
+			return err
 		}
-		imp := metrics.Improvement(
+		samples[i] = metrics.Improvement(
 			metrics.WeightedSpeedup(metrics.CPIs(run), alone),
 			metrics.WeightedSpeedup(metrics.CPIs(base), alone))
-		samples = append(samples, imp)
+		return nil
+	})
+	if err != nil {
+		return SeedStats{}, err
 	}
 	return summarise(samples), nil
 }

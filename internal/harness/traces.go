@@ -72,5 +72,5 @@ func (r *Runner) RunTraces(specs []TraceSpec, id PolicyID) (cmp.Results, error) 
 	if err != nil {
 		return cmp.Results{}, err
 	}
-	return sys.Run(r.Cfg.WarmupInstr, r.Cfg.MeasureInstr), nil
+	return r.simulate(sys), nil
 }
