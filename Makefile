@@ -1,15 +1,20 @@
 # Repeatable verification gate for the ascc reproduction.
 #
-#   make check   - everything CI should run (build, vet, fmt, tests, race)
-#   make test    - the tier-1 suite only
-#   make race    - race-detector pass over the concurrent packages
-#   make bench   - microbenchmarks for the hot simulator paths
+#   make check          - everything CI should run (build, vet, fmt, tests,
+#                         race, bounded differential fuzz)
+#   make test           - the tier-1 suite only
+#   make race           - race-detector pass over the concurrent packages
+#   make fuzz           - bounded run of the kernel-equivalence fuzzer
+#   make bench          - microbenchmarks for the hot simulator paths
+#   make bench-baseline - kernel + end-to-end throughput, recorded in
+#                         BENCH_kernel.json (packed kernel vs the frozen
+#                         reference kernel)
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench clean
+.PHONY: check build vet fmt test race fuzz bench bench-baseline clean
 
-check: build vet fmt test race
+check: build vet fmt test race fuzz
 
 build:
 	$(GO) build ./...
@@ -31,8 +36,17 @@ test:
 race:
 	$(GO) test -race ./internal/harness/... ./internal/experiments/...
 
+# Differential smoke: the packed kernel against the reference model under
+# ten seconds of fuzzed op sequences (the committed corpus always runs as
+# part of plain `go test`; this explores beyond it).
+fuzz:
+	$(GO) test ./internal/cachesim -run '^$$' -fuzz FuzzKernelEquivalence -fuzztime 10s
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+bench-baseline:
+	GO="$(GO)" sh scripts/bench_kernel.sh BENCH_kernel.json
 
 clean:
 	$(GO) clean ./...

@@ -132,25 +132,30 @@ func BenchmarkTable5(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: instructions
-// simulated per second on a 4-core AVGCC run (the heaviest configuration).
+// and cache-block references simulated per second on a 4-core AVGCC run
+// (the heaviest configuration). A fresh Runner is built every iteration —
+// the Runner memoises RunMix results, so reusing one across iterations
+// would time the memo cache, not the simulator.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg := benchConfig()
 	cfg.WarmupInstr = 0
 	cfg.MeasureInstr = 1_000_000
-	runner := ascc.NewRunner(cfg)
 	mix := []int{445, 444, 456, 471}
 	b.ResetTimer()
-	var instr uint64
+	var instr, blocks uint64
 	for i := 0; i < b.N; i++ {
+		runner := ascc.NewRunner(cfg)
 		res, err := runner.RunMix(mix, ascc.AVGCC)
 		if err != nil {
 			b.Fatal(err)
 		}
 		for _, c := range res.Cores {
 			instr += c.Instructions
+			blocks += c.L1Accesses
 		}
 	}
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+	b.ReportMetric(float64(blocks)/b.Elapsed().Seconds(), "blocks/s")
 }
 
 // BenchmarkAblation regenerates the design-choice ablation study

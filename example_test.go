@@ -2,8 +2,11 @@ package ascc_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"ascc"
+	"ascc/internal/trace"
 )
 
 // Example_storageCost reproduces the Table 5 arithmetic: AVGCC needs one
@@ -45,4 +48,92 @@ func Example_metrics() {
 		ascc.WeightedSpeedup(cpis, alone), ascc.HMeanFairness(cpis, alone))
 	// Output:
 	// weighted speedup 1.50, fairness 0.67
+}
+
+// Example_granularity is the examples/granularity flow at a test budget:
+// static set-granular ASCC versus AVGCC (which finds the granularity
+// dynamically) on one four-application mix, reported as weighted-speedup
+// improvement over the private-LLC baseline. The budget here is ~200x below
+// the paper's, so the magnitudes (and even the sign) are not meaningful —
+// run examples/granularity for the real Table 1 sweep.
+func Example_granularity() {
+	cfg := ascc.DefaultConfig()
+	cfg.WarmupInstr, cfg.MeasureInstr = 120_000, 300_000
+	runner := ascc.NewRunner(cfg)
+	mix := []int{433, 462, 450, 401} // two streamers + two takers
+
+	alone, err := runner.AloneCPIs(mix)
+	if err != nil {
+		panic(err)
+	}
+	base, err := runner.RunMix(mix, ascc.Baseline)
+	if err != nil {
+		panic(err)
+	}
+	wsBase := ascc.WeightedSpeedup(ascc.CPIs(base), alone)
+	for _, pol := range []ascc.Policy{ascc.ASCC, ascc.AVGCC} {
+		res, err := runner.RunMix(mix, pol)
+		if err != nil {
+			panic(err)
+		}
+		ws := ascc.WeightedSpeedup(ascc.CPIs(res), alone)
+		fmt.Printf("%s on %s: %+.2f%%\n", pol, ascc.MixName(mix), 100*(ws/wsBase-1))
+	}
+	// Output:
+	// ASCC on 433+462+450+401: -0.73%
+	// AVGCC on 433+462+450+401: -0.72%
+}
+
+// Example_traceReplay is the examples/tracereplay flow at a test budget:
+// record two synthetic traces in the binary format, then replay them
+// through the simulator from the files, exactly as externally captured
+// traces would be.
+func Example_traceReplay() {
+	dir, err := os.MkdirTemp("", "ascc-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	specs := make([]ascc.TraceSpec, 0, 2)
+	for i, id := range []int{445, 456} {
+		p, err := ascc.BenchmarkByID(id)
+		if err != nil {
+			panic(err)
+		}
+		gen := p.NewGenerator(uint64(7+i), uint64(i)<<36, 8)
+		path := filepath.Join(dir, fmt.Sprintf("%s.trc", p.Name))
+		f, err := os.Create(path)
+		if err != nil {
+			panic(err)
+		}
+		w := trace.NewWriter(f)
+		for j := 0; j < 100_000; j++ {
+			if err := w.Write(gen.Next()); err != nil {
+				panic(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+		f.Close()
+		fmt.Printf("recorded %s: %d refs\n", p.Name, w.Count())
+		specs = append(specs, ascc.TraceSpec{Path: path, BaseCPI: p.BaseCPI, Overlap: p.Overlap})
+	}
+
+	cfg := ascc.DefaultConfig()
+	cfg.WarmupInstr, cfg.MeasureInstr = 30_000, 80_000
+	runner := ascc.NewRunner(cfg)
+	for _, pol := range []ascc.Policy{ascc.Baseline, ascc.AVGCC} {
+		res, err := runner.RunTraces(specs, pol)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: core0 CPI %.3f, core1 CPI %.3f\n", pol, res.Cores[0].CPI(), res.Cores[1].CPI())
+	}
+	// Output:
+	// recorded gobmk: 100000 refs
+	// recorded hmmer: 100000 refs
+	// baseline: core0 CPI 3.200, core1 CPI 1.417
+	// AVGCC: core0 CPI 3.200, core1 CPI 1.417
 }

@@ -8,9 +8,40 @@
 // policies in internal/policies can implement MRU insertion, BIP and the
 // paper's SABIP on top of it. Coherence across caches is orchestrated by
 // internal/cmp; a Cache only answers for its own contents.
+//
+// # Kernel layout
+//
+// Every experiment funnels through Access/Insert/Invalidate, so the hot
+// state is bit-packed (DESIGN.md §2, "kernel layout"):
+//
+//   - tags: one flat ways-major []uint64 (tags[set*stride+way]), probed with
+//     an unrolled comparison loop — at the paper's 8-way associativity a
+//     whole set's tags span a single 64-byte host cache line.
+//   - meta: one 32-byte record per set holding the packed recency word
+//     (nibble k = the way at recency rank k, nibble 0 = MRU — touch, victim
+//     selection and position-controlled insertion are constant-time
+//     shift/mask operations instead of []int splicing), the valid mask (bit
+//     w set iff way w holds data, so the probe and the invalid-way victim
+//     scan never dereference Line structs) and the per-set hit/miss
+//     counters. Everything an access mutates sits in half a host cache
+//     line; lifetime totals are derived from the per-set counters on demand
+//     rather than maintained as separate hot words.
+//   - lines: the full per-line bookkeeping (state, dirty, spilled, prefetch,
+//     reuse, owner) in one flat slab, kept addressable because the coherence
+//     engine in internal/cmp mutates flags through the Line pointer API.
+//
+// Sets wider than 16 ways (the fully associative study caches of Figure 1)
+// fall back to explicit []int recency stacks — the packed word fits at most
+// 16 4-bit ranks. Both paths are driven against the frozen reference
+// implementation in internal/cachesim/refmodel by a differential fuzzer and
+// property tests (see diff_test.go): identical operation sequences must
+// produce identical evictions, recency stacks and statistics.
 package cachesim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // LineState is a MESI coherence state.
 type LineState uint8
@@ -128,23 +159,60 @@ type SetStats struct {
 	Misses uint64
 }
 
-// set is one associativity set with a true-LRU recency stack. stack[0] is
-// the MRU way index; stack[len-1] the LRU.
-type set struct {
-	lines []Line
-	stack []int
+// packedMaxWays is the widest set the packed recency word can hold: 16
+// 4-bit way indices per uint64.
+const packedMaxWays = 16
+
+// Nibble-SWAR constants: the lowest and highest bit of every 4-bit lane.
+const (
+	nibLo = 0x1111111111111111
+	nibHi = 0x8888888888888888
+)
+
+// setMeta is everything an access needs to know about one set besides its
+// tag row, packed into half a host cache line so the hot path touches at
+// most two lines of metadata per reference: the set's tag row and this
+// struct. order nibble k = way at recency rank k (rank 0 = MRU); nibbles
+// >= ways stay 0xF so the SWAR position search can never alias them with a
+// real way index. valid bit w is set iff way w holds data. On the wide
+// fallback path only the counters are used.
+type setMeta struct {
+	order  uint64
+	valid  uint64
+	hits   uint64
+	misses uint64
 }
 
 // Cache is a single set-associative cache.
 type Cache struct {
-	cfg      Config
-	sets     []set
-	setMask  uint64
-	ways     int // enabled ways
-	stats    []SetStats
-	hits     uint64
-	misses   uint64
-	accesses uint64
+	cfg     Config
+	setMask uint64
+	ways    int // enabled ways (probed / replaceable)
+	stride  int // physical ways per set in the flat slabs (>= ways)
+
+	// Flat ways-major slabs: index set*stride+way.
+	tags  []uint64
+	lines []Line
+
+	// One metadata word-group per set: packed recency order, valid mask and
+	// demand counters.
+	meta []setMeta
+
+	// usedMask covers the 4*ways low bits of an order word; unusedMask is
+	// its complement (the permanently-0xF nibbles).
+	usedMask   uint64
+	unusedMask uint64
+	fullMask   uint64 // low `ways` bits: the all-valid metadata word
+
+	// wide is the fallback recency representation for sets wider than
+	// packedMaxWays (the fully associative study caches): explicit per-set
+	// stacks, stack[0] = MRU way. nil when the packed kernel is active.
+	wide [][]int
+
+	// Totals() counters carried over from before the last ResetSetStats;
+	// lifetime totals are base + the sum over meta.
+	baseAccesses uint64
+	baseMisses   uint64
 }
 
 // New builds a cache from cfg. It panics on invalid geometry (construction
@@ -153,29 +221,50 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	lines := cfg.SizeBytes / cfg.LineBytes
+	nLines := cfg.SizeBytes / cfg.LineBytes
 	numSets := 1
-	ways := lines
+	stride := nLines
 	if !cfg.FullyAssoc {
-		numSets = lines / cfg.Ways
-		ways = cfg.Ways
+		numSets = nLines / cfg.Ways
+		stride = cfg.Ways
 	}
-	enabled := ways
+	enabled := stride
 	if !cfg.FullyAssoc && cfg.EnabledWays > 0 {
 		enabled = cfg.EnabledWays
 	}
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([]set, numSets),
 		setMask: uint64(numSets - 1),
 		ways:    enabled,
-		stats:   make([]SetStats, numSets),
+		stride:  stride,
+		tags:    make([]uint64, numSets*stride),
+		lines:   make([]Line, numSets*stride),
+		meta:    make([]setMeta, numSets),
 	}
-	for i := range c.sets {
-		c.sets[i].lines = make([]Line, ways)
-		c.sets[i].stack = make([]int, enabled)
+	if enabled <= packedMaxWays {
+		c.usedMask = ^uint64(0)
+		if enabled < packedMaxWays {
+			c.usedMask = uint64(1)<<(4*uint(enabled)) - 1
+		}
+		c.unusedMask = ^c.usedMask
+		c.fullMask = uint64(1)<<uint(enabled) - 1
+		// Identity recency order (rank k = way k), 0xF in unused nibbles.
+		o := c.unusedMask
 		for w := 0; w < enabled; w++ {
-			c.sets[i].stack[w] = w
+			o |= uint64(w) << (4 * uint(w))
+		}
+		for i := range c.meta {
+			c.meta[i].order = o
+		}
+	} else {
+		backing := make([]int, numSets*enabled)
+		c.wide = make([][]int, numSets)
+		for i := range c.wide {
+			st := backing[i*enabled : (i+1)*enabled : (i+1)*enabled]
+			for w := range st {
+				st[w] = w
+			}
+			c.wide[i] = st
 		}
 	}
 	return c
@@ -185,7 +274,7 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return len(c.meta) }
 
 // Ways returns the number of enabled ways per set.
 func (c *Cache) Ways() int { return c.ways }
@@ -196,34 +285,94 @@ func (c *Cache) SetIndex(block uint64) int { return int(block & c.setMask) }
 // Lookup finds block without changing any state. It returns the way index
 // and whether the block is present.
 func (c *Cache) Lookup(block uint64) (way int, ok bool) {
-	s := &c.sets[c.SetIndex(block)]
-	for w := 0; w < c.ways; w++ {
-		if s.lines[w].State != Invalid && s.lines[w].Tag == block {
-			return w, true
+	w := c.probe(int(block&c.setMask), block)
+	return w, w >= 0
+}
+
+// b2u converts a bool to 0 or 1. It compiles to a flag-set instruction, so
+// the probe's match accumulation stays branch-free.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// matchMask returns a bitmask of the ways in tag row t equal to block. The
+// 8-way case — the paper's L2 associativity, where the simulator spends
+// most of its probes — is unrolled into one straight-line expression with
+// no loop-carried dependency.
+func matchMask(t []uint64, block uint64) uint64 {
+	if len(t) == 8 {
+		return b2u(t[0] == block) | b2u(t[1] == block)<<1 |
+			b2u(t[2] == block)<<2 | b2u(t[3] == block)<<3 |
+			b2u(t[4] == block)<<4 | b2u(t[5] == block)<<5 |
+			b2u(t[6] == block)<<6 | b2u(t[7] == block)<<7
+	}
+	var m uint64
+	for w := 0; w < len(t); w++ {
+		m |= b2u(t[w] == block) << uint(w)
+	}
+	return m
+}
+
+// probe scans one set for block and returns its way, or -1. This is the
+// innermost loop of the whole simulator: the packed path touches only the
+// contiguous tag row and the set's metadata word. The scan is branchless —
+// it accumulates a bitmask of matching ways rather than exiting early, so a
+// hit costs a fixed number of straight-line ops instead of a data-dependent
+// branch misprediction. The mask is ANDed with the valid word: a match on a
+// stale tag left by an invalidated way must not count.
+func (c *Cache) probe(si int, block uint64) int {
+	base := si * c.stride
+	if c.wide == nil {
+		m := matchMask(c.tags[base:base+c.ways:base+c.ways], block) & c.meta[si].valid
+		if m == 0 {
+			return -1
+		}
+		return bits.TrailingZeros64(m)
+	}
+	t := c.tags[base : base+c.ways : base+c.ways]
+	ls := c.lines[base : base+c.ways : base+c.ways]
+	for w := range t {
+		if ls[w].State != Invalid && t[w] == block {
+			return w
 		}
 	}
-	return -1, false
+	return -1
 }
 
 // Line returns a pointer to the line at (setIdx, way) for inspection or
 // state mutation by the coherence engine.
-func (c *Cache) Line(setIdx, way int) *Line { return &c.sets[setIdx].lines[way] }
+func (c *Cache) Line(setIdx, way int) *Line { return &c.lines[setIdx*c.stride+way] }
 
 // Access performs a demand lookup: on a hit the line is promoted to MRU and
 // per-set hit statistics are updated; on a miss only the miss counters move.
-// The caller handles the fill via Victim/Insert.
+// The caller handles the fill via Victim/Insert. The packed fast path is a
+// single function: probe and MRU promotion fused, no calls, no allocation.
 func (c *Cache) Access(block uint64) (way int, hit bool) {
-	c.accesses++
-	si := c.SetIndex(block)
-	w, ok := c.Lookup(block)
-	if ok {
-		c.hits++
-		c.stats[si].Hits++
+	si := int(block & c.setMask)
+	m := &c.meta[si]
+	if c.wide == nil {
+		base := si * c.stride
+		match := matchMask(c.tags[base:base+c.ways:base+c.ways], block)
+		if match &= m.valid; match != 0 {
+			w := bits.TrailingZeros64(match)
+			m.hits++
+			// Fused touch: way w takes rank 0, lower ranks shift down.
+			o := m.order
+			p := nibblePos(o, w)
+			low := uint64(1)<<(4*uint(p)) - 1
+			hi := ^uint64(0) << (4 * uint(p+1))
+			m.order = o&hi | (o&low)<<4 | uint64(w)
+			return w, true
+		}
+	} else if w := c.probe(si, block); w >= 0 {
+		m.hits++
 		c.touch(si, w)
 		return w, true
 	}
-	c.misses++
-	c.stats[si].Misses++
+	m.misses++
 	return -1, false
 }
 
@@ -232,15 +381,39 @@ func (c *Cache) Access(block uint64) (way int, hit bool) {
 func (c *Cache) Touch(setIdx, way int) { c.touch(setIdx, way) }
 
 func (c *Cache) touch(setIdx, way int) {
-	s := &c.sets[setIdx]
-	for i, w := range s.stack {
+	if c.wide == nil {
+		o := c.meta[setIdx].order
+		p := nibblePos(o, way)
+		if p >= c.ways {
+			panic(fmt.Sprintf("cachesim: way %d not in recency stack of set %d", way, setIdx))
+		}
+		// Ranks below p shift down one nibble, way takes rank 0; ranks
+		// above p (including the 0xF filler nibbles) are untouched.
+		low := uint64(1)<<(4*uint(p)) - 1
+		hi := ^uint64(0) << (4 * uint(p+1))
+		c.meta[setIdx].order = o&hi | (o&low)<<4 | uint64(way)
+		return
+	}
+	s := c.wide[setIdx]
+	for i, w := range s {
 		if w == way {
-			copy(s.stack[1:i+1], s.stack[:i])
-			s.stack[0] = way
+			copy(s[1:i+1], s[:i])
+			s[0] = way
 			return
 		}
 	}
 	panic(fmt.Sprintf("cachesim: way %d not in recency stack of set %d", way, setIdx))
+}
+
+// nibblePos returns the rank whose nibble in order word o equals way, using
+// a SWAR zero-nibble search. Positions above the first match may be flagged
+// spuriously by the borrow, so the *lowest* flagged nibble is taken; filler
+// nibbles (0xF) can never equal a way index (ways <= 15 on this path, or 16
+// with no filler). Returns >= 16 when way is absent.
+func nibblePos(o uint64, way int) int {
+	x := o ^ uint64(way)*nibLo
+	z := (x - nibLo) & ^x & nibHi
+	return bits.TrailingZeros64(z) >> 2
 }
 
 // Victim returns the way that would be replaced next in block's set: the
@@ -251,36 +424,124 @@ func (c *Cache) Victim(block uint64) int {
 
 // VictimInSet is Victim for an explicit set index.
 func (c *Cache) VictimInSet(setIdx int) int {
-	s := &c.sets[setIdx]
+	if c.wide == nil {
+		m := &c.meta[setIdx]
+		if inv := ^m.valid & c.fullMask; inv != 0 {
+			return bits.TrailingZeros64(inv)
+		}
+		return int(m.order >> (4 * uint(c.ways-1)) & 0xF)
+	}
+	base := setIdx * c.stride
 	for w := 0; w < c.ways; w++ {
-		if s.lines[w].State == Invalid {
+		if c.lines[base+w].State == Invalid {
 			return w
 		}
 	}
-	return s.stack[len(s.stack)-1]
+	s := c.wide[setIdx]
+	return s[len(s)-1]
 }
 
 // Insert places a new line for block into its set at the given recency
 // position, evicting whatever occupied the victim way. It returns the
 // evicted line (State == Invalid if the way was free). The new line's
 // State/Dirty/Spilled/Owner are taken from proto.
+//
+// The packed full-set case — the steady state once warmup has filled every
+// way — is fused: the victim is by definition the LRU nibble, so no victim
+// scan runs, and each insert position reduces to a constant nibble shuffle
+// of the recency word (MRU: rotate everyone down one rank; LRU: the word is
+// already correct; LRU-1: swap the two bottom ranks) instead of the general
+// remove-and-reinsert in place.
 func (c *Cache) Insert(block uint64, pos InsertPos, proto Line) (evicted Line) {
-	si := c.SetIndex(block)
-	w := c.VictimInSet(si)
-	s := &c.sets[si]
-	evicted = s.lines[w]
+	si := int(block & c.setMask)
+	if c.wide == nil {
+		m := &c.meta[si]
+		if inv := ^m.valid & c.fullMask; inv != 0 {
+			return c.insertAt(si, bits.TrailingZeros64(inv), block, pos, proto)
+		}
+		o := m.order
+		sh := 4 * uint(c.ways-1)
+		w := int(o >> sh & 0xF)
+		idx := si*c.stride + w
+		evicted = c.lines[idx]
+		proto.Tag = block
+		c.lines[idx] = proto
+		c.tags[idx] = block
+		if proto.State == Invalid {
+			m.valid &^= 1 << uint(w)
+		}
+		switch pos {
+		case InsertMRU:
+			m.order = (o<<4|uint64(w))&c.usedMask | c.unusedMask
+		case InsertLRU:
+			// The victim way is already at the LRU rank.
+		case InsertLRU1:
+			if c.ways >= 2 {
+				// Swap the LRU and LRU-1 nibbles.
+				swap := (o ^ o<<4) >> sh & 0xF // nonzero bits where they differ
+				m.order = o ^ (swap<<sh | swap<<(sh-4))
+			}
+		default:
+			panic(fmt.Sprintf("cachesim: unknown insert position %v", pos))
+		}
+		return evicted
+	}
+	return c.insertAt(si, c.VictimInSet(si), block, pos, proto)
+}
+
+// insertAt overwrites (si, w) with proto for block, refreshes the packed
+// tag/valid mirrors and moves the way to the requested recency position.
+func (c *Cache) insertAt(si, w int, block uint64, pos InsertPos, proto Line) (evicted Line) {
+	idx := si*c.stride + w
+	evicted = c.lines[idx]
 	proto.Tag = block
-	s.lines[w] = proto
+	c.lines[idx] = proto
+	c.tags[idx] = block
+	if c.wide == nil {
+		if proto.State != Invalid {
+			c.meta[si].valid |= 1 << uint(w)
+		} else {
+			c.meta[si].valid &^= 1 << uint(w)
+		}
+	}
 	c.place(si, w, pos)
 	return evicted
 }
 
 // place moves way w to the requested recency position.
 func (c *Cache) place(setIdx, w int, pos InsertPos) {
-	s := &c.sets[setIdx]
-	// Remove w from the stack.
+	if c.wide == nil {
+		o := c.meta[setIdx].order
+		p := nibblePos(o, w)
+		if p >= c.ways {
+			panic(fmt.Sprintf("cachesim: way %d missing from stack of set %d", w, setIdx))
+		}
+		// Remove rank p (ranks above shift down) ...
+		low := uint64(1)<<(4*uint(p)) - 1
+		rem := o&low | (o>>4)&^low
+		// ... and reinsert w at the target rank (ranks at/above shift up).
+		t := 0
+		switch pos {
+		case InsertMRU:
+			t = 0
+		case InsertLRU:
+			t = c.ways - 1
+		case InsertLRU1:
+			t = c.ways - 2
+			if t < 0 {
+				t = 0
+			}
+		default:
+			panic(fmt.Sprintf("cachesim: unknown insert position %v", pos))
+		}
+		lowT := uint64(1)<<(4*uint(t)) - 1
+		ins := rem&lowT | (rem&^lowT)<<4 | uint64(w)<<(4*uint(t))
+		c.meta[setIdx].order = ins&c.usedMask | c.unusedMask
+		return
+	}
+	s := c.wide[setIdx]
 	idx := -1
-	for i, x := range s.stack {
+	for i, x := range s {
 		if x == w {
 			idx = i
 			break
@@ -289,26 +550,26 @@ func (c *Cache) place(setIdx, w int, pos InsertPos) {
 	if idx < 0 {
 		panic(fmt.Sprintf("cachesim: way %d missing from stack of set %d", w, setIdx))
 	}
-	copy(s.stack[idx:], s.stack[idx+1:])
-	s.stack = s.stack[:len(s.stack)-1]
-	// Reinsert at the requested position.
+	copy(s[idx:], s[idx+1:])
+	s = s[:len(s)-1]
 	target := 0
 	switch pos {
 	case InsertMRU:
 		target = 0
 	case InsertLRU:
-		target = len(s.stack)
+		target = len(s)
 	case InsertLRU1:
-		target = len(s.stack) - 1
+		target = len(s) - 1
 		if target < 0 {
 			target = 0
 		}
 	default:
 		panic(fmt.Sprintf("cachesim: unknown insert position %v", pos))
 	}
-	s.stack = append(s.stack, 0)
-	copy(s.stack[target+1:], s.stack[target:])
-	s.stack[target] = w
+	s = append(s, 0)
+	copy(s[target+1:], s[target:])
+	s[target] = w
+	c.wide[setIdx] = s
 }
 
 // VictimAmong returns the victim way in setIdx restricted to ways for which
@@ -316,15 +577,30 @@ func (c *Cache) place(setIdx, w int, pos InsertPos) {
 // recently used allowed way. It returns -1 if no way is allowed. Used by
 // region-partitioned policies (ECC).
 func (c *Cache) VictimAmong(setIdx int, allowed func(way int) bool) int {
-	s := &c.sets[setIdx]
+	if c.wide == nil {
+		for m := ^c.meta[setIdx].valid & c.fullMask; m != 0; m &= m - 1 {
+			if w := bits.TrailingZeros64(m); allowed(w) {
+				return w
+			}
+		}
+		o := c.meta[setIdx].order
+		for i := c.ways - 1; i >= 0; i-- {
+			if w := int(o >> (4 * uint(i)) & 0xF); allowed(w) {
+				return w
+			}
+		}
+		return -1
+	}
+	base := setIdx * c.stride
 	for w := 0; w < c.ways; w++ {
-		if allowed(w) && s.lines[w].State == Invalid {
+		if allowed(w) && c.lines[base+w].State == Invalid {
 			return w
 		}
 	}
-	for i := len(s.stack) - 1; i >= 0; i-- {
-		if allowed(s.stack[i]) {
-			return s.stack[i]
+	s := c.wide[setIdx]
+	for i := len(s) - 1; i >= 0; i-- {
+		if allowed(s[i]) {
+			return s[i]
 		}
 	}
 	return -1
@@ -338,19 +614,35 @@ func (c *Cache) VictimAmong(setIdx int, allowed func(way int) bool) int {
 // guest-admission mechanism of the ASCC-family policies: spilled lines may
 // only displace a receiver set's demonstrably dead lines.
 func (c *Cache) VictimDead(setIdx int) (way int, ok bool) {
-	s := &c.sets[setIdx]
+	base := setIdx * c.stride
+	if c.wide == nil {
+		if inv := ^c.meta[setIdx].valid & c.fullMask; inv != 0 {
+			return bits.TrailingZeros64(inv), true
+		}
+		o := c.meta[setIdx].order
+		for i := c.ways - 1; i >= 0; i-- {
+			if w := int(o >> (4 * uint(i)) & 0xF); !c.lines[base+w].Reused {
+				return w, true
+			}
+		}
+		for w := 0; w < c.ways; w++ {
+			c.lines[base+w].Reused = false
+		}
+		return -1, false
+	}
 	for w := 0; w < c.ways; w++ {
-		if s.lines[w].State == Invalid {
+		if c.lines[base+w].State == Invalid {
 			return w, true
 		}
 	}
-	for i := len(s.stack) - 1; i >= 0; i-- {
-		if w := s.stack[i]; !s.lines[w].Reused {
+	s := c.wide[setIdx]
+	for i := len(s) - 1; i >= 0; i-- {
+		if w := s[i]; !c.lines[base+w].Reused {
 			return w, true
 		}
 	}
 	for w := 0; w < c.ways; w++ {
-		s.lines[w].Reused = false
+		c.lines[base+w].Reused = false
 	}
 	return -1, false
 }
@@ -359,67 +651,103 @@ func (c *Cache) VictimDead(setIdx int) (way int, ok bool) {
 // the given recency position, returning the evicted line. The caller is
 // responsible for choosing a way in block's set (e.g. via VictimAmong).
 func (c *Cache) InsertWay(block uint64, way int, pos InsertPos, proto Line) (evicted Line) {
-	si := c.SetIndex(block)
-	s := &c.sets[si]
-	evicted = s.lines[way]
-	proto.Tag = block
-	s.lines[way] = proto
-	c.place(si, way, pos)
-	return evicted
+	return c.insertAt(int(block&c.setMask), way, block, pos, proto)
 }
 
 // Invalidate removes block from the cache if present, returning the line as
 // it was (for writeback decisions). The way's stack slot moves to LRU so it
 // is the immediate victim.
 func (c *Cache) Invalidate(block uint64) (Line, bool) {
-	w, ok := c.Lookup(block)
-	if !ok {
+	si := int(block & c.setMask)
+	w := c.probe(si, block)
+	if w < 0 {
 		return Line{}, false
 	}
-	si := c.SetIndex(block)
-	old := c.sets[si].lines[w]
-	c.sets[si].lines[w] = Line{}
+	idx := si*c.stride + w
+	old := c.lines[idx]
+	c.lines[idx] = Line{}
+	c.tags[idx] = 0
+	if c.wide == nil {
+		c.meta[si].valid &^= 1 << uint(w)
+	}
 	c.place(si, w, InsertLRU)
 	return old, true
 }
 
 // RecencyStack returns a copy of the set's recency stack, MRU first.
-// Intended for tests and debugging.
+// Intended for tests and debugging; stats-heavy loops should reuse a buffer
+// via AppendRecencyStack instead.
 func (c *Cache) RecencyStack(setIdx int) []int {
-	s := c.sets[setIdx].stack
-	out := make([]int, len(s))
-	copy(out, s)
-	return out
+	return c.AppendRecencyStack(setIdx, make([]int, 0, c.ways))
 }
 
-// SetStatsFor returns the accumulated stats for one set.
-func (c *Cache) SetStatsFor(setIdx int) SetStats { return c.stats[setIdx] }
+// AppendRecencyStack appends the set's recency order (MRU first) to buf and
+// returns the extended slice. It performs no allocation when buf has
+// capacity for Ways() more entries, so per-set scans can reuse one buffer:
+//
+//	buf := make([]int, 0, c.Ways())
+//	for s := 0; s < c.NumSets(); s++ {
+//		buf = c.AppendRecencyStack(s, buf[:0])
+//		...
+//	}
+func (c *Cache) AppendRecencyStack(setIdx int, buf []int) []int {
+	if c.wide != nil {
+		return append(buf, c.wide[setIdx]...)
+	}
+	o := c.meta[setIdx].order
+	for i := 0; i < c.ways; i++ {
+		buf = append(buf, int(o>>(4*uint(i))&0xF))
+	}
+	return buf
+}
 
-// ResetSetStats zeroes all per-set statistics (totals are preserved).
+// SetStatsFor returns the accumulated stats for one set (since the last
+// ResetSetStats).
+func (c *Cache) SetStatsFor(setIdx int) SetStats {
+	m := &c.meta[setIdx]
+	return SetStats{Hits: m.hits, Misses: m.misses}
+}
+
+// ResetSetStats zeroes all per-set statistics. Lifetime totals are
+// preserved: the per-set counts are folded into the base counters first.
 func (c *Cache) ResetSetStats() {
-	for i := range c.stats {
-		c.stats[i] = SetStats{}
+	for i := range c.meta {
+		m := &c.meta[i]
+		c.baseAccesses += m.hits + m.misses
+		c.baseMisses += m.misses
+		m.hits, m.misses = 0, 0
 	}
 }
 
-// Totals returns lifetime accesses, hits and misses.
+// Totals returns lifetime accesses, hits and misses: the base counters plus
+// the live per-set counts. The hot path maintains only the per-set counters;
+// this sum is paid by the (cold) caller instead.
 func (c *Cache) Totals() (accesses, hits, misses uint64) {
-	return c.accesses, c.hits, c.misses
+	accesses, misses = c.baseAccesses, c.baseMisses
+	for i := range c.meta {
+		m := &c.meta[i]
+		accesses += m.hits + m.misses
+		misses += m.misses
+	}
+	return accesses, accesses - misses, misses
 }
 
 // ResetTotals zeroes the lifetime counters and per-set stats.
 func (c *Cache) ResetTotals() {
-	c.accesses, c.hits, c.misses = 0, 0, 0
-	c.ResetSetStats()
+	c.baseAccesses, c.baseMisses = 0, 0
+	for i := range c.meta {
+		c.meta[i].hits, c.meta[i].misses = 0, 0
+	}
 }
 
 // ValidLines counts valid lines in the whole cache (tests / occupancy
 // metrics).
 func (c *Cache) ValidLines() int {
 	n := 0
-	for si := range c.sets {
+	for si := 0; si < c.NumSets(); si++ {
+		base := si * c.stride
 		for w := 0; w < c.ways; w++ {
-			if c.sets[si].lines[w].Valid() {
+			if c.lines[base+w].Valid() {
 				n++
 			}
 		}
@@ -430,10 +758,11 @@ func (c *Cache) ValidLines() int {
 // ForEachLine calls fn for every valid line. Iteration order is
 // deterministic (set-major, then way).
 func (c *Cache) ForEachLine(fn func(setIdx, way int, l *Line)) {
-	for si := range c.sets {
+	for si := 0; si < c.NumSets(); si++ {
+		base := si * c.stride
 		for w := 0; w < c.ways; w++ {
-			if c.sets[si].lines[w].Valid() {
-				fn(si, w, &c.sets[si].lines[w])
+			if c.lines[base+w].Valid() {
+				fn(si, w, &c.lines[base+w])
 			}
 		}
 	}

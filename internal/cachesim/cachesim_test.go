@@ -448,25 +448,3 @@ func TestInsertWay(t *testing.T) {
 		t.Fatalf("way 1 not MRU after InsertWay: stack %v", st)
 	}
 }
-
-func BenchmarkAccessHit(b *testing.B) {
-	c := New(Config{SizeBytes: 1 << 20, Ways: 8, LineBytes: 32})
-	for i := uint64(0); i < 8; i++ {
-		c.Insert(i*4096, InsertMRU, Line{State: Exclusive})
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Access(uint64(i%8) * 4096)
-	}
-}
-
-func BenchmarkInsertEvict(b *testing.B) {
-	c := New(Config{SizeBytes: 1 << 20, Ways: 8, LineBytes: 32})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		block := uint64(i) * 4096
-		if _, hit := c.Access(block); !hit {
-			c.Insert(block, InsertMRU, Line{State: Exclusive})
-		}
-	}
-}

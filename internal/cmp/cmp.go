@@ -208,6 +208,11 @@ type System struct {
 	done       []bool
 	l2Accesses []uint64
 
+	// holders is the reusable scratch buffer of findHolders: the snoop runs
+	// on every local L2 miss, and appending into a fresh slice there was the
+	// simulator's only steady-state allocation.
+	holders []int
+
 	lineShift uint
 }
 
@@ -237,6 +242,7 @@ func New(p Params, gens []trace.Generator, timing []CoreTiming, policy coop.Poli
 		frozen:     make([]CoreStats, p.Cores),
 		done:       make([]bool, p.Cores),
 		l2Accesses: make([]uint64, p.Cores),
+		holders:    make([]int, 0, p.Cores),
 	}
 	for i := 0; i < p.Cores; i++ {
 		s.l1s[i] = cachesim.New(p.L1)
@@ -365,7 +371,9 @@ func (s *System) l2Demand(c int, block uint64, write bool) float64 {
 	s.l2Accesses[c]++
 	w, hit := l2.Access(block)
 	s.policy.OnL2Access(c, set, hit)
-	defer s.policy.Tick(c, s.l2Accesses[c])
+	// Tick runs after the access resolves (it was a defer; hoisted out of
+	// the per-access path — nothing below returns early).
+	tick := s.l2Accesses[c]
 
 	var lat float64
 	switch {
@@ -414,6 +422,7 @@ func (s *System) l2Demand(c int, block uint64, write bool) float64 {
 	}
 	st.LatencySum += lat
 	s.trainPrefetcher(c, block)
+	s.policy.Tick(c, tick)
 	return lat
 }
 
@@ -670,8 +679,10 @@ func (s *System) invalidateOthers(block uint64, c int) {
 }
 
 // findHolders returns the peer caches holding block (excluding cache c).
+// The returned slice aliases a scratch buffer owned by the System; it is
+// only valid until the next findHolders call (no caller keeps it longer).
 func (s *System) findHolders(block uint64, c int) []int {
-	var out []int
+	out := s.holders[:0]
 	for i := 0; i < s.p.Cores; i++ {
 		if i == c {
 			continue
@@ -680,6 +691,7 @@ func (s *System) findHolders(block uint64, c int) []int {
 			out = append(out, i)
 		}
 	}
+	s.holders = out[:0]
 	return out
 }
 

@@ -389,3 +389,41 @@ func TestASCCEWMARejectsDynamicAndQoS(t *testing.T) {
 		}()
 	}
 }
+
+// TestSABIPInsertionDepthOnCache drives a real cache with the insert
+// positions ASCC emits in capacity mode and verifies — via the recency
+// stacks themselves — that SABIP's common case lands guests one above the
+// LRU, so the next spill (LRU insertion or eviction) cannot displace them
+// immediately.
+func TestSABIPInsertionDepthOnCache(t *testing.T) {
+	p := NewASCC(2, 16, 8, 1)
+	p.OnSpillFail(0, 4) // set 4 of core 0 enters capacity (SABIP) mode
+
+	c := cachesim.New(cachesim.Config{SizeBytes: 8 * 64, Ways: 8, LineBytes: 64})
+	// Fill the single set so insertions evict (the steady state).
+	for blk := uint64(0); blk < 8; blk++ {
+		c.Insert(blk, cachesim.InsertMRU, cachesim.Line{State: cachesim.Exclusive})
+	}
+	buf := make([]int, 0, c.Ways())
+	lru1 := 0
+	for i := 0; i < 256; i++ {
+		blk := uint64(100 + i)
+		c.Insert(blk, p.InsertPos(0, 4), cachesim.Line{State: cachesim.Shared, Spilled: true})
+		buf = c.AppendRecencyStack(0, buf[:0])
+		found, _ := c.Lookup(blk)
+		depth := -1
+		for d, way := range buf {
+			if way == found {
+				depth = d
+			}
+		}
+		if depth == len(buf)-2 {
+			lru1++
+		} else if depth != 0 {
+			t.Fatalf("insert %d landed at depth %d, want LRU-1 (%d) or MRU (0)", i, depth, len(buf)-2)
+		}
+	}
+	if lru1 < 230 {
+		t.Fatalf("only %d/256 SABIP insertions landed at LRU-1", lru1)
+	}
+}
