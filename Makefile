@@ -4,15 +4,18 @@
 #                         race, bounded differential fuzz)
 #   make test           - the tier-1 suite only
 #   make race           - race-detector pass over the concurrent packages
-#   make fuzz           - bounded run of the kernel-equivalence fuzzer
+#   make fuzz           - bounded run of the differential fuzzers (packed
+#                         kernel vs reference model, ganged group vs
+#                         independent caches)
 #   make bench          - microbenchmarks for the hot simulator paths
+#   make profile        - CPU + heap profile of a representative run
 #   make bench-baseline - kernel + end-to-end throughput, recorded in
 #                         BENCH_kernel.json (packed kernel vs the frozen
 #                         reference kernel)
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz bench bench-baseline clean
+.PHONY: check build vet fmt test race fuzz bench bench-baseline profile clean
 
 check: build vet fmt test race fuzz
 
@@ -36,14 +39,25 @@ test:
 race:
 	$(GO) test -race ./internal/harness/... ./internal/experiments/...
 
-# Differential smoke: the packed kernel against the reference model under
-# ten seconds of fuzzed op sequences (the committed corpus always runs as
-# part of plain `go test`; this explores beyond it).
+# Differential smoke: the packed kernel against the reference model, and the
+# ganged tag slab against independent caches, each under ten seconds of
+# fuzzed op sequences (the committed corpora always run as part of plain
+# `go test`; this explores beyond them).
 fuzz:
 	$(GO) test ./internal/cachesim -run '^$$' -fuzz FuzzKernelEquivalence -fuzztime 10s
+	$(GO) test ./internal/cachesim -run '^$$' -fuzz FuzzGroupEquivalence -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# CPU + heap profile of the heaviest configuration (the 4-core AVGCC mix the
+# end-to-end benchmark measures) through the CLI's -cpuprofile/-memprofile
+# flags, with the hot functions summarised. Inspect interactively with
+#   go tool pprof asccbench-cpu.prof
+profile:
+	$(GO) run ./cmd/asccbench -mix 445+401+444+456 -policy AVGCC \
+		-cpuprofile asccbench-cpu.prof -memprofile asccbench-mem.prof >/dev/null
+	$(GO) tool pprof -top -nodecount 15 asccbench-cpu.prof
 
 bench-baseline:
 	GO="$(GO)" sh scripts/bench_kernel.sh BENCH_kernel.json

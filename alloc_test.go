@@ -1,0 +1,36 @@
+package ascc_test
+
+import (
+	"testing"
+
+	"ascc"
+)
+
+// TestSteadyStateRunAllocations pins the simulator's allocation behaviour:
+// once a System is built, driving it allocates only the Results value each
+// Run returns (a header plus the per-core stats slice). The reference
+// batching, probe paths, policy counters and eviction handling must all be
+// allocation-free — a regression here silently costs double-digit percent
+// throughput, so the budget is enforced, not just benchmarked.
+func TestSteadyStateRunAllocations(t *testing.T) {
+	cfg := ascc.DefaultConfig()
+	runner := ascc.NewRunner(cfg)
+	sys, err := runner.NewMixSystem([]int{445, 444, 456, 471}, ascc.AVGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One untimed run warms every lazily initialised path (zipf tables,
+	// policy state) so the measurement sees the steady state the end-to-end
+	// benchmark reports.
+	sys.Run(1_000, 20_000)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		sys.Run(1_000, 20_000)
+	})
+	// Budget 8: Results currently costs 2 allocations per Run and the rest
+	// of the engine none; 8 leaves room for small accounting changes while
+	// still catching any per-reference or per-batch allocation creeping in.
+	if allocs > 8 {
+		t.Errorf("System.Run allocates %.0f times per run, budget is 8", allocs)
+	}
+}

@@ -97,6 +97,11 @@ type Results = cmp.Results
 // CoreStats is one core's measurements.
 type CoreStats = cmp.CoreStats
 
+// System is the simulated chip-multiprocessor; build one with
+// Runner.NewMixSystem to drive a simulation directly (benchmarks,
+// instrumentation), or use Runner.RunMix for the memoised path.
+type System = cmp.System
+
 // Runner executes workload mixes under policies. It is safe for concurrent
 // use: simulations fan out across the configuration's worker pool
 // (Config.Parallel slots) and a singleflight cache memoises every registry

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -28,18 +30,20 @@ import (
 // options collects the parsed command line; validate checks it before any
 // simulation runs.
 type options struct {
-	exp      string
-	list     bool
-	scale    int
-	warmup   uint64
-	measure  uint64
-	seed     uint64
-	seeds    int
-	parallel int
-	mix      string
-	policy   string
-	format   string
-	traces   string
+	exp        string
+	list       bool
+	scale      int
+	warmup     uint64
+	measure    uint64
+	seed       uint64
+	seeds      int
+	parallel   int
+	mix        string
+	policy     string
+	format     string
+	traces     string
+	cpuprofile string
+	memprofile string
 }
 
 // validate rejects out-of-range values and flag combinations that would
@@ -108,6 +112,8 @@ func main() {
 	flag.StringVar(&o.policy, "policy", "AVGCC", "policy for -mix/-trace (baseline, CC, DSR, DSR+DIP, DSR-3S, ECC, LRS, LMS, GMS, LMS+BIP, GMS+SABIP, ASCC, ASCC-2S, AVGCC, QoS-AVGCC)")
 	flag.StringVar(&o.format, "format", "text", "experiment output format: text, csv or json")
 	flag.StringVar(&o.traces, "trace", "", "comma-separated trace files (.trc binary or .csv), one per core, replayed under -policy")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
 
 	if o.list {
@@ -117,24 +123,58 @@ func main() {
 		}
 		return
 	}
+	if o.traces == "" && o.mix == "" && o.exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	// All real work happens in run so its defers — in particular stopping
+	// the CPU profile and flushing the heap profile — execute before the
+	// process exits; os.Exit here would silently truncate the profiles.
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "asccbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected mode under the (optional) profilers.
+func run(o options) error {
 	if err := o.validate(); err != nil {
-		fail(err)
+		return err
+	}
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memprofile != "" {
+		defer func() {
+			f, err := os.Create(o.memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asccbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "asccbench: memprofile:", err)
+			}
+		}()
 	}
 	cfg := o.config()
 
 	switch {
 	case o.traces != "":
-		if err := runTraces(cfg, o.traces, o.policy); err != nil {
-			fail(err)
-		}
+		return runTraces(cfg, o.traces, o.policy)
 	case o.mix != "" && o.seeds > 1:
-		if err := runMixSeeds(cfg, o.mix, o.policy, o.seeds); err != nil {
-			fail(err)
-		}
+		return runMixSeeds(cfg, o.mix, o.policy, o.seeds)
 	case o.mix != "":
-		if err := runMix(cfg, o.mix, o.policy); err != nil {
-			fail(err)
-		}
+		return runMix(cfg, o.mix, o.policy)
 	case o.exp == "all":
 		// One pool for the whole evaluation: experiments run one at a time
 		// (so tables stream in paper order) but fan their simulations out
@@ -142,22 +182,13 @@ func main() {
 		cfg = cfg.WithPool(ascc.NewPool(cfg.Parallel))
 		for _, id := range ascc.ExperimentIDs() {
 			if err := runExperiment(cfg, id, o.format); err != nil {
-				fail(err)
+				return err
 			}
 		}
-	case o.exp != "":
-		if err := runExperiment(cfg, o.exp, o.format); err != nil {
-			fail(err)
-		}
+		return nil
 	default:
-		flag.Usage()
-		os.Exit(2)
+		return runExperiment(cfg, o.exp, o.format)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "asccbench:", err)
-	os.Exit(1)
 }
 
 func runExperiment(cfg ascc.Config, id, format string) error {

@@ -80,7 +80,11 @@ type Line struct {
 	Spilled  bool // line was placed here by a spill from another cache
 	Prefetch bool // line was brought in by a prefetcher and not yet demanded
 	Reused   bool // line was hit at least once since it was (re)inserted
-	Owner    int  // core whose execution allocated the line (for stats)
+	// Owner is the core whose execution allocated the line (for stats).
+	// int16 keeps the struct at 16 bytes, so an 8-way line row spans two
+	// host cache lines instead of three — the line slabs are the largest
+	// data the hot probe/fill paths walk.
+	Owner int16
 }
 
 // Valid reports whether the line holds data.
@@ -218,27 +222,52 @@ type Cache struct {
 // New builds a cache from cfg. It panics on invalid geometry (construction
 // happens at configuration time; runtime paths never construct caches).
 func New(cfg Config) *Cache {
+	return newCache(cfg, 0, nil, nil)
+}
+
+// geometry derives (sets, physical ways per set, enabled ways) from cfg.
+func geometry(cfg Config) (numSets, physWays, enabled int) {
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	numSets = 1
+	physWays = nLines
+	if !cfg.FullyAssoc {
+		numSets = nLines / cfg.Ways
+		physWays = cfg.Ways
+	}
+	enabled = physWays
+	if !cfg.FullyAssoc && cfg.EnabledWays > 0 {
+		enabled = cfg.EnabledWays
+	}
+	return numSets, physWays, enabled
+}
+
+// newCache builds a cache over caller-provided tag/line slabs, or private
+// ones when both are nil. stride is the element distance between consecutive
+// sets' rows in the slabs (0 means the cache's own physical way count); a
+// stride larger than the way count is how CacheGroup interleaves several
+// caches' rows for the same set index into one contiguous slab.
+func newCache(cfg Config, stride int, tags []uint64, lines []Line) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	nLines := cfg.SizeBytes / cfg.LineBytes
-	numSets := 1
-	stride := nLines
-	if !cfg.FullyAssoc {
-		numSets = nLines / cfg.Ways
-		stride = cfg.Ways
+	numSets, physWays, enabled := geometry(cfg)
+	if stride == 0 {
+		stride = physWays
 	}
-	enabled := stride
-	if !cfg.FullyAssoc && cfg.EnabledWays > 0 {
-		enabled = cfg.EnabledWays
+	if stride < physWays {
+		panic(fmt.Sprintf("cachesim: stride %d < %d physical ways", stride, physWays))
+	}
+	if tags == nil {
+		tags = make([]uint64, numSets*stride)
+		lines = make([]Line, numSets*stride)
 	}
 	c := &Cache{
 		cfg:     cfg,
 		setMask: uint64(numSets - 1),
 		ways:    enabled,
 		stride:  stride,
-		tags:    make([]uint64, numSets*stride),
-		lines:   make([]Line, numSets*stride),
+		tags:    tags,
+		lines:   lines,
 		meta:    make([]setMeta, numSets),
 	}
 	if enabled <= packedMaxWays {
@@ -299,15 +328,20 @@ func b2u(b bool) uint64 {
 }
 
 // matchMask returns a bitmask of the ways in tag row t equal to block. The
-// 8-way case — the paper's L2 associativity, where the simulator spends
-// most of its probes — is unrolled into one straight-line expression with
+// 8-way case (the paper's L2 associativity, also the chunk size of the
+// ganged-row scan) and the 4-way case (the L1) cover nearly every probe the
+// simulator issues; both are unrolled into one straight-line expression with
 // no loop-carried dependency.
 func matchMask(t []uint64, block uint64) uint64 {
-	if len(t) == 8 {
+	switch len(t) {
+	case 8:
 		return b2u(t[0] == block) | b2u(t[1] == block)<<1 |
 			b2u(t[2] == block)<<2 | b2u(t[3] == block)<<3 |
 			b2u(t[4] == block)<<4 | b2u(t[5] == block)<<5 |
 			b2u(t[6] == block)<<6 | b2u(t[7] == block)<<7
+	case 4:
+		return b2u(t[0] == block) | b2u(t[1] == block)<<1 |
+			b2u(t[2] == block)<<2 | b2u(t[3] == block)<<3
 	}
 	var m uint64
 	for w := 0; w < len(t); w++ {
@@ -355,7 +389,24 @@ func (c *Cache) Access(block uint64) (way int, hit bool) {
 	m := &c.meta[si]
 	if c.wide == nil {
 		base := si * c.stride
-		match := matchMask(c.tags[base:base+c.ways:base+c.ways], block)
+		// The 8- and 4-way row compares are open-coded: matchMask's generic
+		// loop keeps it out of the inliner, and this probe is the hottest
+		// call site in the simulator — the switch saves a call per access.
+		var match uint64
+		switch c.ways {
+		case 8:
+			t := c.tags[base : base+8 : base+8]
+			match = b2u(t[0] == block) | b2u(t[1] == block)<<1 |
+				b2u(t[2] == block)<<2 | b2u(t[3] == block)<<3 |
+				b2u(t[4] == block)<<4 | b2u(t[5] == block)<<5 |
+				b2u(t[6] == block)<<6 | b2u(t[7] == block)<<7
+		case 4:
+			t := c.tags[base : base+4 : base+4]
+			match = b2u(t[0] == block) | b2u(t[1] == block)<<1 |
+				b2u(t[2] == block)<<2 | b2u(t[3] == block)<<3
+		default:
+			match = matchMask(c.tags[base:base+c.ways:base+c.ways], block)
+		}
 		if match &= m.valid; match != 0 {
 			w := bits.TrailingZeros64(match)
 			m.hits++

@@ -126,7 +126,7 @@ func (o *opStream) proto() cachesim.Line {
 		Spilled:  fl&8 != 0,
 		Prefetch: fl&16 != 0,
 		Reused:   fl&32 != 0,
-		Owner:    int(o.next() & 3),
+		Owner:    int16(o.next() & 3),
 	}
 }
 

@@ -10,6 +10,8 @@ package cmp
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"ascc/internal/cachesim"
 	"ascc/internal/coop"
@@ -188,6 +190,11 @@ func (r Results) Energy(e mem.Energy) float64 {
 	return e.Total(l2, bus, dram)
 }
 
+// refBatch is how many references step prefetches per core per NextBatch
+// call: large enough to amortise the dynamic dispatch into the generator,
+// small enough that the per-core buffers stay resident in L1.
+const refBatch = 64
+
 // System is the private-LLC CMP.
 type System struct {
 	p      Params
@@ -196,8 +203,12 @@ type System struct {
 	timing []CoreTiming
 
 	l1s []*cachesim.Cache
-	l2s []*cachesim.Cache
-	pf  []*prefetch.Stride
+	// group gangs the private L2s into one set-interleaved tag slab; the
+	// coherence paths ask it holder-mask questions instead of snooping each
+	// peer cache separately. l2s are its member views.
+	group *cachesim.CacheGroup
+	l2s   []*cachesim.Cache
+	pf    []*prefetch.Stride
 
 	bus     mem.Port
 	memPort mem.Port
@@ -208,10 +219,12 @@ type System struct {
 	done       []bool
 	l2Accesses []uint64
 
-	// holders is the reusable scratch buffer of findHolders: the snoop runs
-	// on every local L2 miss, and appending into a fresh slice there was the
-	// simulator's only steady-state allocation.
-	holders []int
+	// refs/refPos are the per-core batch buffers step pulls references
+	// from (core c owns refs[c*refBatch:(c+1)*refBatch]); unconsumed
+	// references survive phase boundaries, so the per-core streams are
+	// identical to unbatched generation.
+	refs   []trace.Ref
+	refPos []int
 
 	lineShift uint
 }
@@ -234,6 +247,7 @@ func New(p Params, gens []trace.Generator, timing []CoreTiming, policy coop.Poli
 		gens:       gens,
 		timing:     timing,
 		l1s:        make([]*cachesim.Cache, p.Cores),
+		group:      cachesim.NewGroup(p.Cores, p.L2),
 		l2s:        make([]*cachesim.Cache, p.Cores),
 		bus:        mem.Port{Occupancy: p.BusOccupancy},
 		memPort:    mem.Port{Occupancy: p.MemOccupancy},
@@ -242,11 +256,13 @@ func New(p Params, gens []trace.Generator, timing []CoreTiming, policy coop.Poli
 		frozen:     make([]CoreStats, p.Cores),
 		done:       make([]bool, p.Cores),
 		l2Accesses: make([]uint64, p.Cores),
-		holders:    make([]int, 0, p.Cores),
+		refs:       make([]trace.Ref, p.Cores*refBatch),
+		refPos:     make([]int, p.Cores),
 	}
 	for i := 0; i < p.Cores; i++ {
 		s.l1s[i] = cachesim.New(p.L1)
-		s.l2s[i] = cachesim.New(p.L2)
+		s.l2s[i] = s.group.Cache(i)
+		s.refPos[i] = refBatch // empty: first step refills
 	}
 	if p.Prefetch {
 		s.pf = make([]*prefetch.Stride, p.Cores)
@@ -292,39 +308,76 @@ func (s *System) Run(warmup, instrPerCore uint64) Results {
 }
 
 // runPhase advances every core to the quota, interleaving by local time.
+// Stepping a core only moves that core's clock forward, so the minimum core
+// stays the minimum until it crosses the runner-up: the loop caches the
+// (argmin, second-smallest) frontier and only rescans on a crossing or when
+// the stepped core finishes, instead of scanning every clock per step.
 func (s *System) runPhase(quota uint64) {
+	n := s.p.Cores
 	for {
+		// Rescan the frontier: the smallest clock (lowest index winning
+		// ties, exactly as the original linear scan did) and the
+		// second-smallest value. The scan lives in this loop body rather
+		// than a helper because Go does not inline functions containing
+		// loops, and the rescan runs on every frontier crossing.
 		c := -1
 		best := 0.0
-		for i := 0; i < s.p.Cores; i++ {
-			if !s.done[i] && (c == -1 || s.clock[i] < best) {
-				c = i
-				best = s.clock[i]
+		second := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if s.done[i] {
+				continue
+			}
+			ci := s.clock[i]
+			switch {
+			case c == -1:
+				c, best = i, ci
+			case ci < best:
+				c, best, second = i, ci, best
+			case ci < second:
+				second = ci
 			}
 		}
-		if c == -1 {
+		if c < 0 {
 			return
 		}
-		s.step(c, quota)
-	}
-}
-
-// step executes one reference (and its leading instruction gap) on core c.
-func (s *System) step(c int, quota uint64) {
-	ref := s.gens[c].Next()
-	st := &s.live[c]
-	t := s.timing[c]
-	instr := uint64(ref.Gap) + 1
-	st.Instructions += instr
-	s.clock[c] += float64(instr) * t.BaseCPI
-
-	lat := s.access(c, ref)
-	s.clock[c] += lat * t.Overlap
-	st.Cycles = s.clock[c]
-
-	if st.Instructions >= quota {
-		s.frozen[c] = *st
-		s.done[c] = true
+		// Step the minimum core until it crosses the runner-up or retires.
+		// The per-reference state (batch cursor, local clock, stats and
+		// timing pointers) lives in locals across the burst: a helper call
+		// per reference would reload all of it from the System every step,
+		// and this loop executes once per simulated reference.
+		st := &s.live[c]
+		t := s.timing[c]
+		gen := s.gens[c]
+		base := c * refBatch
+		i := s.refPos[c]
+		clock := s.clock[c]
+		for {
+			if i == refBatch {
+				gen.NextBatch(s.refs[base : base+refBatch : base+refBatch])
+				i = 0
+			}
+			ref := s.refs[base+i]
+			i++
+			instr := uint64(ref.Gap) + 1
+			st.Instructions += instr
+			clock += float64(instr) * t.BaseCPI
+			// The access path reads s.clock[c] (bus and memory queueing), so
+			// the local clock is published before descending.
+			s.clock[c] = clock
+			lat := s.access(c, ref)
+			clock += lat * t.Overlap
+			s.clock[c] = clock
+			st.Cycles = clock
+			if st.Instructions >= quota {
+				s.frozen[c] = *st
+				s.done[c] = true
+				break
+			}
+			if clock >= second {
+				break
+			}
+		}
+		s.refPos[c] = i
 	}
 }
 
@@ -334,10 +387,21 @@ func (s *System) access(c int, ref trace.Ref) float64 {
 	block := ref.Addr >> s.lineShift
 	st := &s.live[c]
 	st.L1Accesses++
-	if _, hit := s.l1s[c].Access(block); hit {
+	if w, hit := s.l1s[c].Access(block); hit {
 		st.L1Hits++
 		if ref.Write {
-			s.writeThroughHit(c, block)
+			// The L1 line's state mirrors whether the inclusive L2 copy is
+			// already Modified: the first store per L1 residency runs the
+			// write-through upgrade, repeat stores skip the L2 probe. The
+			// marker is cleared whenever the L2 copy leaves Modified while
+			// the L1 copy survives (the M->S downgrade in remoteHit); every
+			// other exit from Modified invalidates the L1 line too.
+			l1 := s.l1s[c]
+			line := l1.Line(l1.SetIndex(block), w)
+			if line.State != cachesim.Modified {
+				s.writeThroughHit(c, block)
+				line.State = cachesim.Modified
+			}
 		}
 		return 0 // L1 hit latency is folded into BaseCPI
 	}
@@ -397,12 +461,13 @@ func (s *System) l2Demand(c int, block uint64, write bool) float64 {
 		s.fillL1(c, block)
 
 	default:
-		// Local miss: broadcast snoop on the bus.
+		// Local miss: broadcast snoop on the bus. The ganged tag slab
+		// answers "who holds this block" in one fused row scan.
 		qd := s.bus.Request(s.clock[c])
 		st.BusTransfers++
 		st.QueueDelay += qd
-		holders := s.findHolders(block, c)
-		if len(holders) > 0 {
+		holders := s.holderMask(block, c)
+		if holders != 0 {
 			lat = s.p.L2RemoteHitCycles + qd
 			st.L2RemoteHits++
 			s.remoteHit(c, block, set, holders, write)
@@ -416,7 +481,7 @@ func (s *System) l2Demand(c int, block uint64, write bool) float64 {
 			if write {
 				state = cachesim.Modified
 			}
-			s.insertAndEvict(c, block, cachesim.Line{State: state, Dirty: write, Owner: c})
+			s.insertAndEvict(c, block, cachesim.Line{State: state, Dirty: write, Owner: int16(c)})
 			s.fillL1(c, block)
 		}
 	}
@@ -427,20 +492,21 @@ func (s *System) l2Demand(c int, block uint64, write bool) float64 {
 }
 
 // remoteHit resolves a demand miss that found the line in one or more peer
-// LLCs. See DESIGN.md §2 for the protocol choices: spilled lines are served
-// in place (repeated 25-cycle remote hits, as in DSR); ASCC-family policies
-// migrate last copies home and swap a last-copy victim into the freed slot
-// (§3.2); genuinely shared lines replicate as in plain MESI.
-func (s *System) remoteHit(c int, block uint64, set int, holders []int, write bool) {
+// LLCs (holders is the peer bitmask from the fused snoop, never zero). See
+// DESIGN.md §2 for the protocol choices: spilled lines are served in place
+// (repeated 25-cycle remote hits, as in DSR); ASCC-family policies migrate
+// last copies home and swap a last-copy victim into the freed slot (§3.2);
+// genuinely shared lines replicate as in plain MESI.
+func (s *System) remoteHit(c int, block uint64, set int, holders uint64, write bool) {
 	st := &s.live[c]
-	r := holders[0]
+	r := bits.TrailingZeros64(holders)
 	l2r := s.l2s[r]
 	rw, ok := l2r.Lookup(block)
 	if !ok {
 		panic("cmp: holder lost the line")
 	}
 	rl := *l2r.Line(set, rw)
-	lastCopy := len(holders) == 1
+	lastCopy := holders&(holders-1) == 0
 
 	if rl.Spilled {
 		s.live[rl.Owner].SpillHits++
@@ -449,12 +515,13 @@ func (s *System) remoteHit(c int, block uint64, set int, holders []int, write bo
 	if write {
 		// Take ownership: every remote copy is invalidated and the data
 		// moves here. Dirty data travels with the line — no memory write.
-		for _, h := range holders {
+		for m := holders; m != 0; m &= m - 1 {
+			h := bits.TrailingZeros64(m)
 			s.l2s[h].Invalidate(block)
 			s.l1s[h].Invalidate(block)
 			st.BusTransfers++
 		}
-		proto := cachesim.Line{State: cachesim.Modified, Dirty: true, Reused: true, Owner: c}
+		proto := cachesim.Line{State: cachesim.Modified, Dirty: true, Reused: true, Owner: int16(c)}
 		if !(lastCopy && s.allocWithSwap(c, block, r, rw, proto)) {
 			s.insertAndEvict(c, block, proto)
 		}
@@ -498,10 +565,16 @@ func (s *System) remoteHit(c int, block uint64, set int, holders []int, write bo
 		s.live[r].Writebacks++
 		s.live[r].OffChip++
 		l2r.Line(set, rw).Dirty = false
+		// The owner's L1 copy (if any) carried the Modified marker; the L2
+		// copy is Shared from here on, so the next store must re-upgrade.
+		l1r := s.l1s[r]
+		if lw, ok := l1r.Lookup(block); ok {
+			l1r.Line(l1r.SetIndex(block), lw).State = cachesim.Exclusive
+		}
 	}
 	l2r.Line(set, rw).State = cachesim.Shared
 	st.BusTransfers++
-	s.insertAndEvict(c, block, cachesim.Line{State: cachesim.Shared, Owner: c})
+	s.insertAndEvict(c, block, cachesim.Line{State: cachesim.Shared, Owner: int16(c)})
 	s.fillL1(c, block)
 }
 
@@ -634,13 +707,12 @@ func (s *System) spillInto(c, r, set int, ev cachesim.Line) bool {
 }
 
 // fillL1 installs a block in core c's L1 (evictions are clean: the L1 is
-// write-through).
+// write-through). Every caller sits on the demand path of an L1 miss for
+// this very block, and nothing between the miss and the fill can add it to
+// core c's L1 — peers only ever invalidate — so the fill inserts without a
+// presence probe.
 func (s *System) fillL1(c int, block uint64) {
-	l1 := s.l1s[c]
-	if _, ok := l1.Lookup(block); ok {
-		return
-	}
-	l1.Insert(block, cachesim.InsertMRU, cachesim.Line{State: cachesim.Exclusive, Owner: c})
+	s.l1s[c].Insert(block, cachesim.InsertMRU, cachesim.Line{State: cachesim.Exclusive, Owner: int16(c)})
 }
 
 // trainPrefetcher feeds the demand stream to core c's stride prefetcher and
@@ -654,7 +726,7 @@ func (s *System) trainPrefetcher(c int, block uint64) {
 		if _, ok := s.l2s[c].Lookup(pb); ok {
 			continue
 		}
-		if len(s.findHolders(pb, c)) > 0 {
+		if s.holderMask(pb, c) != 0 {
 			continue // already on chip in a peer cache
 		}
 		s.bus.Request(s.clock[c])
@@ -662,48 +734,27 @@ func (s *System) trainPrefetcher(c int, block uint64) {
 		st.PrefIssued++
 		st.OffChip++
 		st.BusTransfers++
-		s.insertAndEvict(c, pb, cachesim.Line{State: cachesim.Exclusive, Prefetch: true, Owner: c})
+		s.insertAndEvict(c, pb, cachesim.Line{State: cachesim.Exclusive, Prefetch: true, Owner: int16(c)})
 	}
 }
 
 // invalidateOthers removes block from every L1 and L2 except core c's (the
-// write-upgrade path of MESI).
+// write-upgrade path of MESI). The ganged slab locates the L2 holders in one
+// fused scan; inclusion guarantees a core whose L2 lacks the block has no L1
+// copy either, so only actual holders run invalidations.
 func (s *System) invalidateOthers(block uint64, c int) {
-	for i := 0; i < s.p.Cores; i++ {
-		if i == c {
-			continue
-		}
-		s.l2s[i].Invalidate(block)
-		s.l1s[i].Invalidate(block)
+	for m := s.group.InvalidateOthers(block, c); m != 0; m &= m - 1 {
+		s.l1s[bits.TrailingZeros64(m)].Invalidate(block)
 	}
 }
 
-// findHolders returns the peer caches holding block (excluding cache c).
-// The returned slice aliases a scratch buffer owned by the System; it is
-// only valid until the next findHolders call (no caller keeps it longer).
-func (s *System) findHolders(block uint64, c int) []int {
-	out := s.holders[:0]
-	for i := 0; i < s.p.Cores; i++ {
-		if i == c {
-			continue
-		}
-		if _, ok := s.l2s[i].Lookup(block); ok {
-			out = append(out, i)
-		}
-	}
-	s.holders = out[:0]
-	return out
+// holderMask returns the bitmask of peer caches holding block, excluding
+// cache c — the fused replacement for the per-peer snoop loop.
+func (s *System) holderMask(block uint64, c int) uint64 {
+	return s.group.HolderMask(block) &^ (1 << uint(c))
 }
 
 // isLastCopy reports whether no cache other than exclude holds block.
 func (s *System) isLastCopy(block uint64, exclude int) bool {
-	for i := 0; i < s.p.Cores; i++ {
-		if i == exclude {
-			continue
-		}
-		if _, ok := s.l2s[i].Lookup(block); ok {
-			return false
-		}
-	}
-	return true
+	return s.group.LastCopy(block, exclude)
 }

@@ -23,6 +23,7 @@ func (g *scriptGen) Next() trace.Ref {
 	g.i++
 	return r
 }
+func (g *scriptGen) NextBatch(buf []trace.Ref) { trace.FillBatch(g, buf) }
 
 // loopRefs builds a cyclic read loop over n blocks that all map to L2 set
 // `set` of a cache with `sets` sets (block = set + i*sets), with the given

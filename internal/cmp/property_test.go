@@ -19,6 +19,8 @@ type randGen struct {
 }
 
 func (g *randGen) Name() string { return "rand" }
+
+func (g *randGen) NextBatch(buf []trace.Ref) { trace.FillBatch(g, buf) }
 func (g *randGen) Next() trace.Ref {
 	// Blocks 0..63 are shared across cores; a per-core region sits higher.
 	var addr uint64

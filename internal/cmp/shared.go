@@ -184,7 +184,7 @@ func (s *SharedSystem) access(c int, ref trace.Ref) float64 {
 			state = cachesim.Modified
 			s.invalidatePeerL1s(block, c)
 		}
-		ev := s.l2.Insert(block, cachesim.InsertMRU, cachesim.Line{State: state, Dirty: ref.Write, Owner: c})
+		ev := s.l2.Insert(block, cachesim.InsertMRU, cachesim.Line{State: state, Dirty: ref.Write, Owner: int16(c)})
 		if ev.Valid() {
 			// Inclusion: back-invalidate every L1.
 			for i := range s.l1s {
@@ -199,7 +199,7 @@ func (s *SharedSystem) access(c int, ref trace.Ref) float64 {
 		}
 	}
 	if _, ok := s.l1s[c].Lookup(block); !ok {
-		s.l1s[c].Insert(block, cachesim.InsertMRU, cachesim.Line{State: cachesim.Exclusive, Owner: c})
+		s.l1s[c].Insert(block, cachesim.InsertMRU, cachesim.Line{State: cachesim.Exclusive, Owner: int16(c)})
 	}
 	st.LatencySum += lat
 	return lat

@@ -322,6 +322,24 @@ func (r *Runner) RunMix(mix []int, id PolicyID) (cmp.Results, error) {
 	})
 }
 
+// NewMixSystem builds (but does not run) the simulated machine for a
+// multiprogrammed mix under a registry policy. Benchmarks and tests use it
+// to time or instrument the simulation itself, separately from workload and
+// system construction; unlike RunMix the result is caller-owned and never
+// memoised.
+func (r *Runner) NewMixSystem(mix []int, id PolicyID) (*cmp.System, error) {
+	gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sets, ways := r.Cfg.L2Geometry()
+	pol, err := NewPolicy(id, len(mix), sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
+	if err != nil {
+		return nil, err
+	}
+	return cmp.New(r.Cfg.params(len(mix)), gens, timingFor(profs), pol)
+}
+
 // RunMixWith runs a mix under an explicitly constructed policy (for the
 // granularity sweep and other parameterised variants). The policy instance
 // is caller-owned mutable state, so these runs are pool-bounded but never

@@ -63,16 +63,22 @@ func New(seed uint64) *Xoshiro256 {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
-// Uint64 returns the next 64-bit value.
+// Uint64 returns the next 64-bit value. The state update runs on locals —
+// one load and one store per state word — which keeps the function within
+// the compiler's inlining budget, so the simulator's per-reference draws
+// compile to straight-line code instead of calls.
 func (x *Xoshiro256) Uint64() uint64 {
-	result := rotl(x.s[1]*5, 7) * 9
-	t := x.s[1] << 17
-	x.s[2] ^= x.s[0]
-	x.s[3] ^= x.s[1]
-	x.s[1] ^= x.s[2]
-	x.s[0] ^= x.s[3]
-	x.s[2] ^= t
-	x.s[3] = rotl(x.s[3], 45)
+	s0, s1, s2, s3 := x.s[0], x.s[1], x.s[2], x.s[3]
+	r := s1 * 5
+	result := (r<<7 | r>>57) * 9
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	s3 = s3<<45 | s3>>19
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
 	return result
 }
 

@@ -103,6 +103,19 @@ func (r *Replay) Next() Ref {
 	return ref
 }
 
+// NextBatch implements Generator, copying whole runs of the cyclic trace at
+// a time.
+func (r *Replay) NextBatch(buf []Ref) {
+	for n := 0; n < len(buf); {
+		k := copy(buf[n:], r.refs[r.i:])
+		n += k
+		r.i += k
+		if r.i == len(r.refs) {
+			r.i = 0
+		}
+	}
+}
+
 // ReadBinary parses a binary trace stream into memory.
 func ReadBinary(rd io.Reader) ([]Ref, error) {
 	br := bufio.NewReader(rd)

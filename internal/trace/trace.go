@@ -29,6 +29,20 @@ type Generator interface {
 	// Next returns the next reference. Implementations must be
 	// deterministic for a fixed construction seed.
 	Next() Ref
+	// NextBatch fills buf with the next len(buf) references — exactly
+	// equivalent to len(buf) successive Next calls, but one dynamic
+	// dispatch for the whole batch. The simulator's per-core stepping pulls
+	// from a refilled batch buffer, so this is the hot entry point;
+	// generators without a native bulk path can delegate to FillBatch.
+	NextBatch(buf []Ref)
+}
+
+// FillBatch implements NextBatch by calling g.Next once per element, for
+// generators with no native bulk path.
+func FillBatch(g Generator, buf []Ref) {
+	for i := range buf {
+		buf[i] = g.Next()
+	}
 }
 
 // Component produces addresses within a region; the Composite generator
@@ -86,15 +100,29 @@ type RandomWalk struct {
 	Base      uint64
 	Footprint uint64
 	Align     uint64 // address alignment, typically the line size
+
+	n uint64 // cached Footprint/Align (computed on first use)
 }
 
 // NextAddr implements Component.
 func (w *RandomWalk) NextAddr(r *rng.Xoshiro256) uint64 {
-	if w.Align == 0 {
-		w.Align = 32
+	if w.n == 0 {
+		if w.Align == 0 {
+			w.Align = 32
+		}
+		w.n = w.Footprint / w.Align
 	}
-	n := w.Footprint / w.Align
-	return w.Base + r.Uint64n(n)*w.Align
+	// Inline r.Uint64n(w.n), with the modulo strength-reduced to a mask for
+	// power-of-two line counts (every workload model's case): bit-identical
+	// to the division, minus the ~30-cycle DIV on the per-reference path.
+	u := r.Uint64()
+	var i uint64
+	if n := w.n; n&(n-1) == 0 {
+		i = u & (n - 1)
+	} else {
+		i = u % n
+	}
+	return w.Base + i*w.Align
 }
 
 // ZipfRegions divides its footprint into NumRegions regions, picks a region
@@ -109,29 +137,40 @@ type ZipfRegions struct {
 	BurstLen   int // references per burst
 	Stride     uint64
 
-	zipf     *rng.Zipf
-	curBase  uint64
-	curOff   uint64
-	burstPos int
+	zipf       *rng.Zipf
+	curBase    uint64
+	curOff     uint64
+	burstPos   int
+	regionSize uint64 // cached Footprint/NumRegions
+	maxOff     uint64 // cached regionSize/Stride, at least 1
 }
 
 // NextAddr implements Component.
 func (z *ZipfRegions) NextAddr(r *rng.Xoshiro256) uint64 {
-	if z.Stride == 0 {
-		z.Stride = 32
-	}
 	if z.zipf == nil {
+		if z.Stride == 0 {
+			z.Stride = 32
+		}
 		z.zipf = rng.NewZipf(r, z.NumRegions, z.Skew)
+		z.regionSize = z.Footprint / uint64(z.NumRegions)
+		z.maxOff = z.regionSize / z.Stride
+		if z.maxOff == 0 {
+			z.maxOff = 1
+		}
 	}
-	regionSize := z.Footprint / uint64(z.NumRegions)
 	if z.burstPos == 0 {
 		region := z.zipf.Next()
-		z.curBase = z.Base + uint64(region)*regionSize
-		maxOff := regionSize / z.Stride
-		if maxOff == 0 {
-			maxOff = 1
+		z.curBase = z.Base + uint64(region)*z.regionSize
+		// r.Uint64n(maxOff) with the modulo reduced to a mask when the
+		// offset count is a power of two (bit-identical to the division).
+		u := r.Uint64()
+		var off uint64
+		if n := z.maxOff; n&(n-1) == 0 {
+			off = u & (n - 1)
+		} else {
+			off = u % n
 		}
-		z.curOff = r.Uint64n(maxOff) * z.Stride
+		z.curOff = off * z.Stride
 		z.burstPos = z.BurstLen
 		if z.burstPos <= 0 {
 			z.burstPos = 1
@@ -139,7 +178,7 @@ func (z *ZipfRegions) NextAddr(r *rng.Xoshiro256) uint64 {
 	}
 	a := z.curBase + z.curOff
 	z.curOff += z.Stride
-	if z.curOff >= regionSize {
+	if z.curOff >= z.regionSize {
 		z.curOff = 0
 	}
 	z.burstPos--
@@ -206,7 +245,18 @@ func (h *HotLines) NextAddr(r *rng.Xoshiro256) uint64 {
 	if h.Align == 0 {
 		h.Align = 32
 	}
-	return h.Base + uint64(r.Intn(h.Lines))*h.Align
+	// Inline r.Intn(h.Lines), with the modulo reduced to a mask for
+	// power-of-two pool sizes (bit-identical to the division; every
+	// workload model uses a power-of-two pool).
+	u := r.Uint64()
+	n := uint64(h.Lines)
+	var i uint64
+	if n&(n-1) == 0 {
+		i = u & (n - 1)
+	} else {
+		i = u % n
+	}
+	return h.Base + i*h.Align
 }
 
 // StridedWalk produces a constant-stride stream with occasional restarts,
@@ -302,11 +352,67 @@ func (c *Composite) Next() Ref {
 		}
 	}
 	m := &c.comps[idx]
+	// Inline Bernoulli(WriteFrac) so the draw compiles to a direct Uint64
+	// call; the WriteFrac >= 1 guard keeps the no-draw degenerate cases of
+	// rng.Bernoulli, so the reference stream is bit-identical.
 	return Ref{
 		Addr:  m.Comp.NextAddr(c.r),
-		Write: m.WriteFrac > 0 && c.r.Bernoulli(m.WriteFrac),
+		Write: m.WriteFrac > 0 && (m.WriteFrac >= 1 || c.r.Float64() < m.WriteFrac),
 		Gap:   gap,
 	}
+}
+
+// NextBatch implements Generator. The batch loop keeps the dithering
+// accumulator and the RNG in locals and draws from the component mixture
+// exactly as Next does — the random sequence (and therefore every golden
+// result) is bit-identical to per-reference generation. The component
+// dispatch is a type switch over the concrete pattern types rather than an
+// interface call: the per-reference NextAddr is the hottest dynamic call in
+// the simulator, and the direct calls both skip the itab indirection and let
+// the draw-free patterns (sequential streams, loops, column walks) inline.
+func (c *Composite) NextBatch(buf []Ref) {
+	r := c.r
+	acc := c.gapAcc
+	mean := c.gapMean
+	comps := c.comps
+	cum := c.cum
+	for i := range buf {
+		acc += mean
+		gap := int32(acc)
+		acc -= float64(gap)
+
+		idx := 0
+		if len(comps) > 1 {
+			u := r.Float64()
+			for idx < len(cum)-1 && cum[idx] < u {
+				idx++
+			}
+		}
+		m := &comps[idx]
+		var addr uint64
+		switch comp := m.Comp.(type) {
+		case *HotLines:
+			addr = comp.NextAddr(r)
+		case *Loop:
+			addr = comp.NextAddr(r)
+		case *ZipfRegions:
+			addr = comp.NextAddr(r)
+		case *SeqStream:
+			addr = comp.NextAddr(r)
+		case *RandomWalk:
+			addr = comp.NextAddr(r)
+		case *ColumnWalk:
+			addr = comp.NextAddr(r)
+		default:
+			addr = m.Comp.NextAddr(r)
+		}
+		buf[i] = Ref{
+			Addr:  addr,
+			Write: m.WriteFrac > 0 && (m.WriteFrac >= 1 || r.Float64() < m.WriteFrac),
+			Gap:   gap,
+		}
+	}
+	c.gapAcc = acc
 }
 
 // Counted wraps a Generator and counts emitted references; used by tests.
@@ -319,4 +425,10 @@ type Counted struct {
 func (c *Counted) Next() Ref {
 	c.N++
 	return c.Generator.Next()
+}
+
+// NextBatch implements Generator.
+func (c *Counted) NextBatch(buf []Ref) {
+	c.N += uint64(len(buf))
+	c.Generator.NextBatch(buf)
 }
