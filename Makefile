@@ -6,7 +6,7 @@
 #   make race           - race-detector pass over the concurrent packages
 #   make fuzz           - bounded run of the differential fuzzers (packed
 #                         kernel vs reference model, ganged group vs
-#                         independent caches)
+#                         independent caches, trace arena codec round-trip)
 #   make bench          - microbenchmarks for the hot simulator paths
 #   make profile        - CPU + heap profile of a representative run
 #   make bench-baseline - kernel + end-to-end throughput, recorded in
@@ -34,10 +34,11 @@ fmt:
 test:
 	$(GO) test ./...
 
-# The harness worker pool and the experiment fan-outs are the only
-# concurrent code; -race over just those keeps the gate fast.
+# The harness worker pool, the experiment fan-outs and the shared trace
+# arenas are the only concurrent code; -race over just those keeps the gate
+# fast.
 race:
-	$(GO) test -race ./internal/harness/... ./internal/experiments/...
+	$(GO) test -race ./internal/trace/... ./internal/harness/... ./internal/experiments/...
 
 # Differential smoke: the packed kernel against the reference model, and the
 # ganged tag slab against independent caches, each under ten seconds of
@@ -46,6 +47,7 @@ race:
 fuzz:
 	$(GO) test ./internal/cachesim -run '^$$' -fuzz FuzzKernelEquivalence -fuzztime 10s
 	$(GO) test ./internal/cachesim -run '^$$' -fuzz FuzzGroupEquivalence -fuzztime 10s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzRefCodec -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -34,3 +34,34 @@ func TestSteadyStateRunAllocations(t *testing.T) {
 		t.Errorf("System.Run allocates %.0f times per run, budget is 8", allocs)
 	}
 }
+
+// TestReplaySteadyStateAllocations pins the arena replay path to the same
+// budget. The first System's runs populate the runner's packed trace
+// arenas; a second System over the same mix then replays an already-frozen
+// prefix, so its Run must be a pure decode loop — no chunk growth, no
+// per-batch or per-reference allocation.
+func TestReplaySteadyStateAllocations(t *testing.T) {
+	cfg := ascc.DefaultConfig()
+	if !cfg.TraceCache {
+		t.Fatal("trace cache is off by default; replay path untested")
+	}
+	runner := ascc.NewRunner(cfg)
+	warm, err := runner.NewMixSystem([]int{445, 444, 456, 471}, ascc.AVGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Run(1_000, 150_000) // extend the arenas well past the measured window
+
+	sys, err := runner.NewMixSystem([]int{445, 444, 456, 471}, ascc.AVGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1_000, 20_000)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		sys.Run(1_000, 20_000)
+	})
+	if allocs > 8 {
+		t.Errorf("replaying System.Run allocates %.0f times per run, budget is 8", allocs)
+	}
+}

@@ -42,6 +42,8 @@ type options struct {
 	policy     string
 	format     string
 	traces     string
+	traceCache bool
+	traceMB    int
 	cpuprofile string
 	memprofile string
 }
@@ -75,6 +77,12 @@ func (o options) validate() error {
 	if o.format != "text" && (o.mix != "" || o.traces != "") {
 		return fmt.Errorf("-format %s only applies to -exp runs (-mix and -trace always print text)", o.format)
 	}
+	if o.traceMB < 0 {
+		return fmt.Errorf("-trace-cache-mb must be >= 0 (got %d; 0 means the default budget)", o.traceMB)
+	}
+	if o.traceMB > 0 && !o.traceCache {
+		return fmt.Errorf("-trace-cache-mb %d conflicts with -trace-cache=false", o.traceMB)
+	}
 	return nil
 }
 
@@ -84,6 +92,8 @@ func (o options) config() ascc.Config {
 	cfg.Scale = o.scale
 	cfg.Seed = o.seed
 	cfg.Parallel = o.parallel
+	cfg.TraceCache = o.traceCache
+	cfg.TraceCacheMB = o.traceMB
 	if o.scale != 8 {
 		// Scale the default budgets so reuse cycles complete (DESIGN.md §5).
 		cfg.WarmupInstr = cfg.WarmupInstr * 8 / uint64(o.scale)
@@ -112,6 +122,8 @@ func main() {
 	flag.StringVar(&o.policy, "policy", "AVGCC", "policy for -mix/-trace (baseline, CC, DSR, DSR+DIP, DSR-3S, ECC, LRS, LMS, GMS, LMS+BIP, GMS+SABIP, ASCC, ASCC-2S, AVGCC, QoS-AVGCC)")
 	flag.StringVar(&o.format, "format", "text", "experiment output format: text, csv or json")
 	flag.StringVar(&o.traces, "trace", "", "comma-separated trace files (.trc binary or .csv), one per core, replayed under -policy")
+	flag.BoolVar(&o.traceCache, "trace-cache", true, "memoise each workload reference stream in a packed arena and replay it across policies (results are identical either way)")
+	flag.IntVar(&o.traceMB, "trace-cache-mb", 0, "trace cache memory budget in MiB before LRU eviction (0 = default budget; requires -trace-cache)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()

@@ -7,7 +7,7 @@ import (
 
 // base returns the options the flag defaults produce.
 func base() options {
-	return options{scale: 8, seeds: 1, policy: "AVGCC", format: "text"}
+	return options{scale: 8, seeds: 1, policy: "AVGCC", format: "text", traceCache: true}
 }
 
 func TestValidate(t *testing.T) {
@@ -30,6 +30,10 @@ func TestValidate(t *testing.T) {
 		{"exp and mix", func(o *options) { o.exp = "fig8"; o.mix = "445+456" }, "-exp"},
 		{"exp and trace", func(o *options) { o.exp = "fig8"; o.traces = "a.trc" }, "-exp"},
 		{"parallel ok", func(o *options) { o.exp = "all"; o.parallel = 8 }, ""},
+		{"trace cache budget ok", func(o *options) { o.exp = "all"; o.traceMB = 512 }, ""},
+		{"trace cache off ok", func(o *options) { o.exp = "all"; o.traceCache = false }, ""},
+		{"negative cache budget", func(o *options) { o.traceMB = -1 }, "-trace-cache-mb"},
+		{"budget without cache", func(o *options) { o.traceCache = false; o.traceMB = 64 }, "-trace-cache=false"},
 	}
 	for _, tc := range cases {
 		o := base()

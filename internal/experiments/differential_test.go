@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"ascc/internal/harness"
+)
+
+// diffConfig is deliberately smaller than the golden budget: the
+// differential test runs every experiment twice (arena replay vs live
+// generation), so it trades statistical weight for coverage of all IDs.
+func diffConfig() harness.Config {
+	cfg := tinyConfig()
+	cfg.WarmupInstr = 60_000
+	cfg.MeasureInstr = 150_000
+	return cfg
+}
+
+// shortDiffIDs is the -short subset: one multiprogrammed figure, the
+// multithreaded workload path and the single-app way sweep — together they
+// exercise every Runner entry point the arena cache intercepts.
+var shortDiffIDs = map[string]bool{"fig1": true, "fig8": true, "mt": true}
+
+// TestArenaDifferential renders every experiment with the trace cache on
+// and off and requires byte-identical CSV output. This is the end-to-end
+// guarantee behind the memoised arena: packed replay is indistinguishable
+// from live workload-model generation, for every table the repo produces.
+func TestArenaDifferential(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && !shortDiffIDs[id] {
+				t.Skip("-short: representative subset only")
+			}
+			t.Parallel()
+			render := func(traceCache bool) []byte {
+				cfg := diffConfig()
+				cfg.TraceCache = traceCache
+				res, err := ByID(cfg, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := res.Table.CSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			replay := render(true)
+			live := render(false)
+			if !bytes.Equal(replay, live) {
+				t.Fatalf("%s: arena replay diverged from live generation\n--- replay ---\n%s\n--- live ---\n%s",
+					id, firstDiffWindow(replay, live), firstDiffWindow(live, replay))
+			}
+		})
+	}
+}

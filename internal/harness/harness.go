@@ -41,6 +41,18 @@ type Config struct {
 	// (runtime.NumCPU), 1 recovers sequential execution. Results are
 	// bit-identical at every setting; only wall-clock changes.
 	Parallel int
+	// TraceCache memoises each workload's generated reference stream in a
+	// packed in-memory arena (trace.Arena, DESIGN.md §10): the stream is
+	// synthesised once per (workload, seed, scale) and every subsequent run
+	// replays it by straight decode, skipping the component mixing and RNG
+	// draws that otherwise dominate steady-state CPU. Results are
+	// bit-identical with the cache on or off.
+	TraceCache bool
+	// TraceCacheMB bounds the resident size of the packed-stream cache in
+	// MiB; cold arenas are evicted least-recently-used first when the
+	// budget is exceeded. 0 uses DefaultTraceCacheMB. Only meaningful when
+	// TraceCache is set.
+	TraceCacheMB int
 
 	// pool, when non-nil, is the worker pool shared by every Runner built
 	// from this configuration (set via WithPool / EnsurePool). The zero
@@ -65,6 +77,14 @@ func (c Config) EnsurePool() Config {
 	return c
 }
 
+// DefaultTraceCacheMB is the packed-stream cache budget applied when
+// Config.TraceCacheMB is zero. At one word per reference, 256 MiB holds
+// ~33 million packed references (roughly 150–250 million simulated
+// instructions' worth of stream) — comfortably above what the full
+// default-budget evaluation suite touches, so eviction only engages on
+// much larger instruction budgets.
+const DefaultTraceCacheMB = 256
+
 // DefaultConfig returns the standard fast configuration.
 func DefaultConfig() Config {
 	return Config{
@@ -72,7 +92,17 @@ func DefaultConfig() Config {
 		WarmupInstr:  1_000_000,
 		MeasureInstr: 3_000_000,
 		Seed:         1,
+		TraceCache:   true,
 	}
+}
+
+// traceCacheBytes resolves the packed-stream cache budget in bytes.
+func (c Config) traceCacheBytes() int64 {
+	mb := c.TraceCacheMB
+	if mb <= 0 {
+		mb = DefaultTraceCacheMB
+	}
+	return int64(mb) << 20
 }
 
 // Params builds the machine description for a core count (exported for the
@@ -192,6 +222,15 @@ type Runner struct {
 
 	pool *Pool
 
+	// arenas is the packed reference-stream cache (nil when
+	// Config.TraceCache is off): every registry run replays its workload
+	// streams from memoised arenas instead of re-synthesising them, so the
+	// 5–10 policy runs of a mix — and every other run touching the same
+	// (benchmark, core, seed, scale) stream — share one generation pass.
+	// Pool-attached runners share the pool's cache, extending the sharing
+	// across experiments.
+	arenas *trace.ArenaCache
+
 	mu   sync.Mutex
 	runs map[runKey]*inflight
 
@@ -229,7 +268,30 @@ func NewRunner(cfg Config) *Runner {
 
 func newRunner(cfg Config, p *Pool) *Runner {
 	cfg.pool = p
-	return &Runner{Cfg: cfg, pool: p, runs: map[runKey]*inflight{}}
+	r := &Runner{Cfg: cfg, pool: p, runs: map[runKey]*inflight{}}
+	if cfg.TraceCache {
+		r.arenas = p.arenaCache(cfg.traceCacheBytes())
+	}
+	return r
+}
+
+// replayGens swaps each freshly built generator for an allocation-free
+// replayer over its memoised packed arena (no-op when the trace cache is
+// disabled). kind plus the slot index, the generator name and the runner's
+// seed and scale uniquely determine the stream: workload generators derive
+// their RNG seed and address base from the slot index, so e.g. benchmark
+// 445 at core 0 produces one stream no matter which mix (or single-app
+// baseline) it appears in — all of those runs replay one arena.
+func (r *Runner) replayGens(kind string, gens []trace.Generator) []trace.Generator {
+	if r.arenas == nil {
+		return gens
+	}
+	out := make([]trace.Generator, len(gens))
+	for i, g := range gens {
+		key := fmt.Sprintf("%s/%d/%s/%d/%d", kind, i, g.Name(), r.Cfg.Seed, r.Cfg.Scale)
+		out[i] = r.arenas.Get(key, g).NewReplayer()
+	}
+	return out
 }
 
 // memo returns the cached result for key, running f exactly once per key
@@ -308,6 +370,7 @@ func (r *Runner) RunMix(mix []int, id PolicyID) (cmp.Results, error) {
 		if err != nil {
 			return cmp.Results{}, err
 		}
+		gens = r.replayGens("mix", gens)
 		p := r.Cfg.params(len(mix))
 		sets, ways := r.Cfg.L2Geometry()
 		pol, err := NewPolicy(id, len(mix), sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
@@ -332,6 +395,7 @@ func (r *Runner) NewMixSystem(mix []int, id PolicyID) (*cmp.System, error) {
 	if err != nil {
 		return nil, err
 	}
+	gens = r.replayGens("mix", gens)
 	sets, ways := r.Cfg.L2Geometry()
 	pol, err := NewPolicy(id, len(mix), sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
 	if err != nil {
@@ -349,6 +413,7 @@ func (r *Runner) RunMixWith(mix []int, pol coop.Policy) (cmp.Results, error) {
 	if err != nil {
 		return cmp.Results{}, err
 	}
+	gens = r.replayGens("mix", gens)
 	sys, err := cmp.New(r.Cfg.params(len(mix)), gens, timingFor(profs), pol)
 	if err != nil {
 		return cmp.Results{}, err
@@ -364,6 +429,7 @@ func (r *Runner) RunShared(mix []int) (cmp.Results, error) {
 		if err != nil {
 			return cmp.Results{}, err
 		}
+		gens = r.replayGens("mix", gens)
 		sp := cmp.DefaultSharedParams(len(mix), r.Cfg.Scale)
 		if r.Cfg.L2SizeBytes > 0 {
 			sp.L2.SizeBytes = r.Cfg.L2SizeBytes / r.Cfg.Scale * len(mix)
@@ -385,7 +451,7 @@ func (r *Runner) RunMT(name string, threads int, id PolicyID) (cmp.Results, erro
 		if err != nil {
 			return cmp.Results{}, err
 		}
-		gens := prof.NewGenerators(threads, rng.Mix64(r.Cfg.Seed^0x317), r.Cfg.Scale)
+		gens := r.replayGens("mt", prof.NewGenerators(threads, rng.Mix64(r.Cfg.Seed^0x317), r.Cfg.Scale))
 		timing := make([]cmp.CoreTiming, threads)
 		for i := range timing {
 			timing[i] = cmp.CoreTiming{BaseCPI: prof.BaseCPI, Overlap: prof.Overlap}
@@ -413,7 +479,8 @@ func (r *Runner) RunSingle(id int, p cmp.Params) (cmp.Results, *cmp.System, erro
 		return cmp.Results{}, nil, err
 	}
 	gen := prof.NewGenerator(rng.Mix64(r.Cfg.Seed+77), 0, r.Cfg.Scale)
-	sys, err := cmp.New(p, []trace.Generator{gen},
+	gens := r.replayGens("single", []trace.Generator{gen})
+	sys, err := cmp.New(p, gens,
 		[]cmp.CoreTiming{{BaseCPI: prof.BaseCPI, Overlap: prof.Overlap}}, policies.NewBaseline())
 	if err != nil {
 		return cmp.Results{}, nil, err

@@ -3,6 +3,8 @@ package harness
 import (
 	"runtime"
 	"sync"
+
+	"ascc/internal/trace"
 )
 
 // Pool bounds how many cache simulations execute at once. Runners acquire a
@@ -21,6 +23,14 @@ type Pool struct {
 
 	mu      sync.Mutex
 	runners map[Config]*Runner
+	// arenas is the pool-wide packed reference-stream cache (created on
+	// first use by a trace-caching runner): arena keys carry seed and
+	// scale, so runners with different machine configurations — an L2-size
+	// sweep, a prefetcher study — still share the one generation pass per
+	// workload stream. It has its own lock because runner construction
+	// (which attaches the cache) can itself run under mu.
+	arenaMu sync.Mutex
+	arenas  *trace.ArenaCache
 }
 
 // NewPool builds a pool with n worker slots; n <= 0 uses runtime.NumCPU().
@@ -40,6 +50,18 @@ func (p *Pool) run(f func()) {
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
 	f()
+}
+
+// arenaCache returns the pool's shared packed-stream cache, creating it
+// with the given budget on first use (later callers reuse the existing
+// cache whatever their budget — one budget per pool).
+func (p *Pool) arenaCache(maxBytes int64) *trace.ArenaCache {
+	p.arenaMu.Lock()
+	defer p.arenaMu.Unlock()
+	if p.arenas == nil {
+		p.arenas = trace.NewArenaCache(maxBytes)
+	}
+	return p.arenas
 }
 
 // Runner returns the pool's shared runner for cfg, creating it on first

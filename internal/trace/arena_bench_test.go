@@ -1,0 +1,40 @@
+package trace
+
+import "testing"
+
+// BenchmarkStreamThroughput compares the two ways a reference stream can
+// reach the simulator: live generation (Zipf sampling, random walks, RNG
+// draws per reference) versus packed arena replay (a straight decode of one
+// uint64 per reference). The ratio is the per-reference synthesis cost the
+// arena cache removes from every run after the first.
+func BenchmarkStreamThroughput(b *testing.B) {
+	const batch = 256
+
+	b.Run("live", func(b *testing.B) {
+		g := testComposite(9)
+		buf := make([]Ref, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.NextBatch(buf)
+		}
+		b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "refs/s")
+	})
+
+	b.Run("replay", func(b *testing.B) {
+		// Pack a bounded prefix up front and rewind with fresh replayers so
+		// the measurement is pure decode, never extension, at fixed memory.
+		const prefill = 1 << 21
+		a := NewArena(testComposite(9))
+		a.Extend(prefill + batch)
+		rp := a.NewReplayer()
+		buf := make([]Ref, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rp.refPos+batch > prefill {
+				rp = a.NewReplayer()
+			}
+			rp.NextBatch(buf)
+		}
+		b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "refs/s")
+	})
+}
