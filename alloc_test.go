@@ -9,9 +9,12 @@ import (
 // TestSteadyStateRunAllocations pins the simulator's allocation behaviour:
 // once a System is built, driving it allocates only the Results value each
 // Run returns (a header plus the per-core stats slice). The reference
-// batching, probe paths, policy counters and eviction handling must all be
+// batching, the run-to-event burst kernel and its frontier scratch, the
+// probe paths, policy counters and eviction handling must all be
 // allocation-free — a regression here silently costs double-digit percent
-// throughput, so the budget is enforced, not just benchmarked.
+// throughput, so the budget is enforced, not just benchmarked. The default
+// machine has 4-way L1s, so this drives the specialized packed kernel;
+// TestGenericBurstSteadyStateAllocations covers the other kernel path.
 func TestSteadyStateRunAllocations(t *testing.T) {
 	cfg := ascc.DefaultConfig()
 	runner := ascc.NewRunner(cfg)
@@ -63,5 +66,31 @@ func TestReplaySteadyStateAllocations(t *testing.T) {
 	})
 	if allocs > 8 {
 		t.Errorf("replaying System.Run allocates %.0f times per run, budget is 8", allocs)
+	}
+}
+
+// TestGenericBurstSteadyStateAllocations pins the non-4-way burst kernel
+// (the generic packed/wide path) to the same budget. The default harness
+// machines all carry 4-way L1s, so without this test the generic kernel
+// could silently grow a per-reference or per-event allocation and no gate
+// would notice until someone swept L1 associativity.
+func TestGenericBurstSteadyStateAllocations(t *testing.T) {
+	cfg := ascc.DefaultConfig()
+	cfg.WarmupInstr = 1_000
+	cfg.MeasureInstr = 20_000
+	runner := ascc.NewRunner(cfg)
+	p := cfg.Params(1)
+	p.L1.Ways = 2 // routes every L1 read through the generic burst kernel
+	_, sys, err := runner.RunSingle(444, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1_000, 20_000)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		sys.Run(1_000, 20_000)
+	})
+	if allocs > 8 {
+		t.Errorf("generic-kernel System.Run allocates %.0f times per run, budget is 8", allocs)
 	}
 }

@@ -7,6 +7,7 @@
 //	asccbench -exp all                  # the full evaluation, paper order
 //	asccbench -exp all -parallel 8      # same tables, 8 simulations at a time
 //	asccbench -exp fig7 -scale 4 -measure 8000000
+//	asccbench -exp all -timing          # wall-clock line after each table
 //	asccbench -list                     # experiment index
 //	asccbench -mix 445+456 -policy AVGCC  # a single ad-hoc run
 //
@@ -17,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -44,6 +46,7 @@ type options struct {
 	traces     string
 	traceCache bool
 	traceMB    int
+	timing     bool
 	cpuprofile string
 	memprofile string
 }
@@ -124,6 +127,7 @@ func main() {
 	flag.StringVar(&o.traces, "trace", "", "comma-separated trace files (.trc binary or .csv), one per core, replayed under -policy")
 	flag.BoolVar(&o.traceCache, "trace-cache", true, "memoise each workload reference stream in a packed arena and replay it across policies (results are identical either way)")
 	flag.IntVar(&o.traceMB, "trace-cache-mb", 0, "trace cache memory budget in MiB before LRU eviction (0 = default budget; requires -trace-cache)")
+	flag.BoolVar(&o.timing, "timing", false, "print wall-clock after each experiment table or ad-hoc run (to stderr under -format csv/json so the stream stays parseable)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
@@ -182,49 +186,72 @@ func run(o options) error {
 
 	switch {
 	case o.traces != "":
-		return runTraces(cfg, o.traces, o.policy)
+		return timed(o, "trace replay", func() error {
+			return runTraces(cfg, o.traces, o.policy)
+		})
 	case o.mix != "" && o.seeds > 1:
-		return runMixSeeds(cfg, o.mix, o.policy, o.seeds)
+		return timed(o, "mix "+o.mix, func() error {
+			return runMixSeeds(cfg, o.mix, o.policy, o.seeds)
+		})
 	case o.mix != "":
-		return runMix(cfg, o.mix, o.policy)
+		return timed(o, "mix "+o.mix, func() error {
+			return runMix(cfg, o.mix, o.policy)
+		})
 	case o.exp == "all":
 		// One pool for the whole evaluation: experiments run one at a time
 		// (so tables stream in paper order) but fan their simulations out
 		// across the workers and share memoised baseline runs suite-wide.
 		cfg = cfg.WithPool(ascc.NewPool(cfg.Parallel))
 		for _, id := range ascc.ExperimentIDs() {
-			if err := runExperiment(cfg, id, o.format); err != nil {
+			if err := runExperiment(cfg, id, o); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return runExperiment(cfg, o.exp, o.format)
+		return runExperiment(cfg, o.exp, o)
 	}
 }
 
-func runExperiment(cfg ascc.Config, id, format string) error {
+// timingWriter is where -timing lines go: stdout in text mode, stderr when
+// -format is csv or json so redirecting stdout still yields a
+// machine-parseable stream.
+func (o options) timingWriter() io.Writer {
+	if o.format != "text" {
+		return os.Stderr
+	}
+	return os.Stdout
+}
+
+// timed wraps one unit of work with the -timing wall-clock report.
+func timed(o options, what string, work func() error) error {
 	start := time.Now()
-	res, err := ascc.RunExperiment(cfg, id)
-	if err != nil {
+	if err := work(); err != nil {
 		return err
 	}
-	switch format {
-	case "csv":
-		if err := res.Table.CSV(os.Stdout); err != nil {
-			return err
-		}
-	case "json":
-		if err := res.Table.JSON(os.Stdout); err != nil {
-			return err
-		}
-	case "text":
-		fmt.Println(res.Table)
-		fmt.Printf("[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
-	default:
-		return fmt.Errorf("unknown format %q (want text, csv or json)", format)
+	if o.timing {
+		fmt.Fprintf(o.timingWriter(), "[%s finished in %.1fs]\n\n", what, time.Since(start).Seconds())
 	}
 	return nil
+}
+
+func runExperiment(cfg ascc.Config, id string, o options) error {
+	return timed(o, id, func() error {
+		res, err := ascc.RunExperiment(cfg, id)
+		if err != nil {
+			return err
+		}
+		switch o.format {
+		case "csv":
+			return res.Table.CSV(os.Stdout)
+		case "json":
+			return res.Table.JSON(os.Stdout)
+		case "text":
+			fmt.Println(res.Table)
+			return nil
+		}
+		return fmt.Errorf("unknown format %q (want text, csv or json)", o.format)
+	})
 }
 
 // runMixSeeds repeats one mix/policy comparison across several seeds.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -34,6 +35,9 @@ func TestValidate(t *testing.T) {
 		{"trace cache off ok", func(o *options) { o.exp = "all"; o.traceCache = false }, ""},
 		{"negative cache budget", func(o *options) { o.traceMB = -1 }, "-trace-cache-mb"},
 		{"budget without cache", func(o *options) { o.traceCache = false; o.traceMB = 64 }, "-trace-cache=false"},
+		{"timing with exp", func(o *options) { o.exp = "fig8"; o.timing = true }, ""},
+		{"timing with mix", func(o *options) { o.mix = "445+456"; o.timing = true }, ""},
+		{"timing with csv exp", func(o *options) { o.exp = "fig8"; o.format = "csv"; o.timing = true }, ""},
 	}
 	for _, tc := range cases {
 		o := base()
@@ -77,6 +81,23 @@ func TestConfigBudgetRescale(t *testing.T) {
 	o.parallel = 3
 	if o.config().Parallel != 3 {
 		t.Fatal("parallel not propagated to the config")
+	}
+}
+
+// TestTimingWriter pins the -timing output routing: interleaved with the
+// tables on stdout for humans, but diverted to stderr under the
+// machine-readable formats so `asccbench -exp all -format csv -timing
+// > out.csv` still yields a clean stream.
+func TestTimingWriter(t *testing.T) {
+	o := base()
+	if o.timingWriter() != os.Stdout {
+		t.Error("text-format timing must go to stdout")
+	}
+	for _, f := range []string{"csv", "json"} {
+		o.format = f
+		if o.timingWriter() != os.Stderr {
+			t.Errorf("%s-format timing must go to stderr", f)
+		}
 	}
 }
 

@@ -219,12 +219,18 @@ type System struct {
 	done       []bool
 	l2Accesses []uint64
 
-	// refs/refPos are the per-core batch buffers step pulls references
-	// from (core c owns refs[c*refBatch:(c+1)*refBatch]); unconsumed
-	// references survive phase boundaries, so the per-core streams are
-	// identical to unbatched generation.
-	refs   []trace.Ref
-	refPos []int
+	// batches are the per-core decoded-reference buffers the burst kernel
+	// consumes from (all views into one flat backing array so the hot
+	// buffers stay adjacent); unconsumed references survive phase
+	// boundaries, so the per-core streams are identical to unbatched
+	// generation.
+	batches []trace.Batch
+
+	// front is runPhase's frontier scratch: active core indices kept
+	// sorted by (clock, index), so each turn reads the minimum core and
+	// the runner-up's clock in O(1) and re-inserts the stepped core
+	// instead of rescanning every clock.
+	front []int32
 
 	lineShift uint
 }
@@ -256,13 +262,17 @@ func New(p Params, gens []trace.Generator, timing []CoreTiming, policy coop.Poli
 		frozen:     make([]CoreStats, p.Cores),
 		done:       make([]bool, p.Cores),
 		l2Accesses: make([]uint64, p.Cores),
-		refs:       make([]trace.Ref, p.Cores*refBatch),
-		refPos:     make([]int, p.Cores),
+		batches:    make([]trace.Batch, p.Cores),
+		front:      make([]int32, p.Cores),
 	}
+	backing := make([]trace.Ref, p.Cores*refBatch)
 	for i := 0; i < p.Cores; i++ {
 		s.l1s[i] = cachesim.New(p.L1)
 		s.l2s[i] = s.group.Cache(i)
-		s.refPos[i] = refBatch // empty: first step refills
+		s.batches[i] = trace.Batch{
+			Refs: backing[i*refBatch : (i+1)*refBatch : (i+1)*refBatch],
+			Pos:  refBatch, // empty: first step refills
+		}
 	}
 	if p.Prefetch {
 		s.pf = make([]*prefetch.Stride, p.Cores)
@@ -312,72 +322,137 @@ func (s *System) Run(warmup, instrPerCore uint64) Results {
 // stays the minimum until it crosses the runner-up: the loop caches the
 // (argmin, second-smallest) frontier and only rescans on a crossing or when
 // the stepped core finishes, instead of scanning every clock per step.
+//
+// Within a core's turn the stepping is run-to-event (DESIGN.md §11): the
+// L1 burst kernel (cachesim.ReadBurst) consumes consecutive latency-0
+// references — L1 read hits and repeat stores to Modified lines — entirely
+// inside internal/cachesim, keeping instructions, hits and the clock in
+// registers, and returns only on an event: an L1 miss, a store needing the
+// write-through upgrade, batch exhaustion, the instruction quota, or the
+// clock crossing the frontier's runner-up. Event references are consumed
+// too — the kernel performs their L1-level half (tag probe, set counters,
+// recency touch, instruction-gap clock add) and returns only the below-L1
+// remainder, so no reference is ever probed twice. The burst accounting is
+// folded into CoreStats once per event, and s.clock[c] is published lazily
+// — its only readers are the bus/memory queueing models reached through
+// l2Demand, and the frontier scan above, both of which run only after a
+// publish. The differential oracle for all of this is the frozen
+// per-reference loop in refstep_test.go (FuzzBurstEquivalence).
 func (s *System) runPhase(quota uint64) {
 	n := s.p.Cores
-	for {
-		// Rescan the frontier: the smallest clock (lowest index winning
-		// ties, exactly as the original linear scan did) and the
-		// second-smallest value. The scan lives in this loop body rather
-		// than a helper because Go does not inline functions containing
-		// loops, and the rescan runs on every frontier crossing.
-		c := -1
-		best := 0.0
-		second := math.Inf(1)
-		for i := 0; i < n; i++ {
-			if s.done[i] {
-				continue
-			}
-			ci := s.clock[i]
-			switch {
-			case c == -1:
-				c, best = i, ci
-			case ci < best:
-				c, best, second = i, ci, best
-			case ci < second:
-				second = ci
-			}
+	shift := s.lineShift
+	// The frontier is the active cores sorted by (clock, index) — the lex
+	// order a full rescan's strict-< comparisons produce, so ties resolve
+	// to the lowest index exactly as the original linear scan did. It is
+	// maintained incrementally: each turn steps front[0] against the
+	// runner-up front[1], then re-inserts the stepped core at its new
+	// clock (or drops it at the quota), which replaces the per-turn
+	// all-cores rescan with a short shift of the few cores passed.
+	front := s.front[:0]
+	for i := 0; i < n; i++ {
+		if s.done[i] {
+			continue
 		}
-		if c < 0 {
-			return
+		j := len(front)
+		front = append(front, int32(i))
+		for ; j > 0; j-- {
+			p := front[j-1]
+			// Initial clocks may be mid-run values (a warmup handoff
+			// leaves cores at distinct times): same lex order as below.
+			if s.clock[p] < s.clock[i] || (s.clock[p] == s.clock[i] && p < int32(i)) {
+				break
+			}
+			front[j], front[j-1] = front[j-1], front[j]
+		}
+	}
+	for len(front) > 0 {
+		c := int(front[0])
+		second := math.Inf(1)
+		if len(front) > 1 {
+			second = s.clock[front[1]]
 		}
 		// Step the minimum core until it crosses the runner-up or retires.
-		// The per-reference state (batch cursor, local clock, stats and
-		// timing pointers) lives in locals across the burst: a helper call
-		// per reference would reload all of it from the System every step,
-		// and this loop executes once per simulated reference.
 		st := &s.live[c]
 		t := s.timing[c]
 		gen := s.gens[c]
-		base := c * refBatch
-		i := s.refPos[c]
+		bt := &s.batches[c]
+		l1 := s.l1s[c]
+		instr := st.Instructions
 		clock := s.clock[c]
+		var accesses, allHits uint64
+		var ev cachesim.BurstEvent
+		var hits, block uint64
+		var way int
+		var write bool
+	stepping:
 		for {
-			if i == refBatch {
-				gen.NextBatch(s.refs[base : base+refBatch : base+refBatch])
-				i = 0
+			ev, instr, clock, hits, block, way, write =
+				l1.ReadBurst(bt, shift, t.BaseCPI, quota, second, instr, clock)
+			accesses += hits
+			allHits += hits
+			switch ev {
+			case cachesim.BurstBatchEnd:
+				bt.Refill(gen)
+				continue
+			case cachesim.BurstQuota, cachesim.BurstFrontier:
+				break stepping
+			case cachesim.BurstUpgrade:
+				// Store hit on a line whose inclusive L2 copy is not yet
+				// Modified: the kernel already did the L1 hit accounting and
+				// recency touch; the write-through upgrade and the marker
+				// transition happen here (access's logic, sans re-probe).
+				// The upgrade's latency is 0, so the clock is unchanged.
+				line := l1.Line(l1.SetIndex(block), way)
+				s.writeThroughHit(c, block)
+				line.State = cachesim.Modified
+			case cachesim.BurstMiss:
+				// The kernel counted the set-level miss and the reference's
+				// instruction-gap clock add; only the descent below the L1
+				// remains. l2Demand reads s.clock[c] (bus and memory
+				// queueing), so the lazy clock is published first.
+				accesses++
+				s.clock[c] = clock
+				lat := s.l2Demand(c, block, write)
+				clock += lat * t.Overlap
+				s.clock[c] = clock
 			}
-			ref := s.refs[base+i]
-			i++
-			instr := uint64(ref.Gap) + 1
-			st.Instructions += instr
-			clock += float64(instr) * t.BaseCPI
-			// The access path reads s.clock[c] (bus and memory queueing), so
-			// the local clock is published before descending.
-			s.clock[c] = clock
-			lat := s.access(c, ref)
-			clock += lat * t.Overlap
-			s.clock[c] = clock
-			st.Cycles = clock
-			if st.Instructions >= quota {
-				s.frozen[c] = *st
-				s.done[c] = true
-				break
+			// The event reference is now fully committed: apply the same
+			// quota-then-frontier checks the per-reference loop ran after it.
+			if instr >= quota || clock >= second {
+				break stepping
 			}
-			if clock >= second {
+		}
+		// Fold the burst's deferred accounting into CoreStats and publish
+		// the lazy clock, once per turn: the register state above is the
+		// only live copy between events, so nothing mid-turn reads
+		// CoreStats' instruction/L1/cycle fields — and s.clock[c] only
+		// before descending into l2Demand (DESIGN.md §11).
+		st.Instructions = instr
+		st.L1Accesses += accesses
+		st.L1Hits += allHits
+		st.Cycles = clock
+		s.clock[c] = clock
+		if instr >= quota {
+			s.frozen[c] = *st
+			s.done[c] = true
+			front = front[1:]
+			continue
+		}
+		// Re-insert the stepped core: shift forward every core now lex
+		// (clock, index)-before it. Only this core's clock moved, so the
+		// rest of the frontier is still sorted.
+		j := 0
+		for j+1 < len(front) {
+			nx := front[j+1]
+			cv := s.clock[nx]
+			if cv < clock || (cv == clock && int(nx) < c) {
+				front[j] = nx
+				j++
+			} else {
 				break
 			}
 		}
-		s.refPos[c] = i
+		front[j] = int32(c)
 	}
 }
 

@@ -1,0 +1,127 @@
+package cmp
+
+import (
+	"reflect"
+	"testing"
+
+	"ascc/internal/cachesim"
+	"ascc/internal/coop"
+	"ascc/internal/policies"
+	"ascc/internal/trace"
+)
+
+// FuzzBurstEquivalence drives a random machine and reference stream through
+// the live run-to-event engine (System.Run over cachesim.ReadBurst) and the
+// frozen per-reference stepping (refRun, refstep_test.go), then demands
+// bit-identical results: frozen CoreStats, final core clocks, the complete
+// L1 and L2 state (tags, line flags, recency stacks, set counters) and the
+// batch cursors. The decoded input varies every event class the kernel can
+// hit: quota and frontier cut points (diverse BaseCPI), write-hit upgrades
+// (random store bits over a tiny block space), batch wrap-around (streams
+// longer than the 64-ref batch) and both kernel paths (4-way specialized,
+// non-4-way generic).
+func FuzzBurstEquivalence(f *testing.F) {
+	f.Add([]byte("burst-kernel-seed"))
+	f.Add([]byte{3, 1, 1, 9, 1, 0x10, 2, 1, 0x31, 5, 0, 0x52, 7, 1})
+	f.Add([]byte{2, 0, 0, 200, 0, 0x21, 0, 0, 0x22, 1, 1, 0x23, 2, 0, 0x24, 3, 1})
+	f.Add([]byte{0, 1, 1, 4, 1, 0xFF, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			t.Skip()
+		}
+		cores := 1 + int(data[0]%3)
+		l1Ways := 2 << (data[1] % 2) // 2: generic kernel path, 4: specialized
+		useASCC := data[2]%2 == 1
+		quota := 100 + uint64(data[3])*16
+		warmup := uint64(0)
+		if data[4]%2 == 1 {
+			warmup = quota / 3
+		}
+		p := tinyParams(cores)
+		p.L1 = cachesim.Config{SizeBytes: 32 * 2 * l1Ways, Ways: l1Ways, LineBytes: 32}
+		// Per-core cyclic scripts from the tail bytes: 3 bytes per
+		// reference over a 64-block space (heavy conflict pressure), with
+		// store bits to force upgrade events.
+		body := data[5:]
+		per := len(body) / (3 * cores)
+		if per == 0 {
+			t.Skip()
+		}
+		script := func(core int) *scriptGen {
+			refs := make([]trace.Ref, per)
+			for i := range refs {
+				b := body[(core*per+i)*3:]
+				refs[i] = trace.Ref{
+					Addr:  uint64(b[0]%64) * 32,
+					Gap:   int32(b[1] % 8),
+					Write: b[2]&1 == 1,
+				}
+			}
+			return &scriptGen{name: "fuzz", refs: refs}
+		}
+		timing := make([]CoreTiming, cores)
+		for i := range timing {
+			timing[i] = CoreTiming{BaseCPI: 1 + float64((int(data[0])+i)%3)/2, Overlap: 0.5}
+		}
+		build := func() *System {
+			gens := make([]trace.Generator, cores)
+			for i := range gens {
+				gens[i] = script(i)
+			}
+			var pol coop.Policy
+			if useASCC {
+				sets := p.L2.SizeBytes / p.L2.LineBytes / p.L2.Ways
+				cfg := policies.AVGCCDefaultConfig(cores, sets, p.L2.Ways, 1)
+				cfg.ResizePeriod = 50
+				pol = policies.NewASCCVariant("AVGCC", cfg)
+			} else {
+				pol = policies.NewBaseline()
+			}
+			sys, err := New(p, gens, timing, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sys
+		}
+
+		live := build()
+		oracle := build()
+		gotRes := live.Run(warmup, quota)
+		wantRes := oracle.refRun(warmup, quota)
+
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Errorf("results diverge:\nburst: %+v\nper-ref: %+v", gotRes, wantRes)
+		}
+		for i := 0; i < cores; i++ {
+			if live.clock[i] != oracle.clock[i] {
+				t.Errorf("core %d clock: burst %v, per-ref %v", i, live.clock[i], oracle.clock[i])
+			}
+			if live.batches[i].Pos != oracle.batches[i].Pos {
+				t.Errorf("core %d batch cursor: burst %d, per-ref %d",
+					i, live.batches[i].Pos, oracle.batches[i].Pos)
+			}
+			compareCaches(t, "L1", i, live.l1s[i], oracle.l1s[i])
+			compareCaches(t, "L2", i, live.L2(i), oracle.L2(i))
+		}
+	})
+}
+
+// compareCaches demands identical observable cache state: per-set counters
+// and recency stacks, and every line's tag and flags.
+func compareCaches(t *testing.T, level string, core int, a, b *cachesim.Cache) {
+	t.Helper()
+	sets, ways := a.NumSets(), a.Ways()
+	for si := 0; si < sets; si++ {
+		if sa, sb := a.SetStatsFor(si), b.SetStatsFor(si); sa != sb {
+			t.Errorf("%s[%d] set %d stats: burst %+v, per-ref %+v", level, core, si, sa, sb)
+		}
+		if ra, rb := a.RecencyStack(si), b.RecencyStack(si); !reflect.DeepEqual(ra, rb) {
+			t.Errorf("%s[%d] set %d recency: burst %v, per-ref %v", level, core, si, ra, rb)
+		}
+		for w := 0; w < ways; w++ {
+			if la, lb := *a.Line(si, w), *b.Line(si, w); la != lb {
+				t.Errorf("%s[%d] set %d way %d: burst %+v, per-ref %+v", level, core, si, w, la, lb)
+			}
+		}
+	}
+}

@@ -497,7 +497,9 @@ type Table struct {
 	Notes  []string
 }
 
-// String renders the table as aligned text.
+// String renders the table as aligned text. Ragged rows are tolerated: a
+// row with more cells than the header extends the width table (the extra
+// columns simply have no heading) instead of panicking on widths[i].
 func (t Table) String() string {
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
@@ -505,7 +507,10 @@ func (t Table) String() string {
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if i == len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}

@@ -179,6 +179,30 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestTableRaggedRows(t *testing.T) {
+	// Regression: a row with more cells than the header used to panic with
+	// an index-out-of-range on widths[i]. Extra columns render unheaded.
+	tbl := Table{
+		Title:  "Ragged",
+		Header: []string{"a"},
+		Rows: [][]string{
+			{"x", "extra", "more"},
+			{"y"},
+			{},
+		},
+	}
+	s := tbl.String()
+	for _, want := range []string{"== Ragged ==", "x", "extra", "more", "y"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("ragged table output missing %q:\n%s", want, s)
+		}
+	}
+	// The widened column set must not disturb header alignment.
+	if lines := strings.Split(s, "\n"); !strings.HasPrefix(lines[1], "a") {
+		t.Fatalf("header line wrong: %q", lines[1])
+	}
+}
+
 func TestFormatHelpers(t *testing.T) {
 	if Pct(0.078) != "+7.8%" || Pct(-0.01) != "-1.0%" {
 		t.Fatal("Pct wrong")
