@@ -42,10 +42,12 @@ type options struct {
 	parallel   int
 	mix        string
 	policy     string
+	policySet  bool // -policy given explicitly (flag.Visit), not defaulted
 	format     string
 	traces     string
 	traceCache bool
 	traceMB    int
+	l2Batch    bool
 	timing     bool
 	cpuprofile string
 	memprofile string
@@ -86,6 +88,9 @@ func (o options) validate() error {
 	if o.traceMB > 0 && !o.traceCache {
 		return fmt.Errorf("-trace-cache-mb %d conflicts with -trace-cache=false", o.traceMB)
 	}
+	if o.policySet && o.mix == "" && o.traces == "" {
+		return fmt.Errorf("-policy only applies to -mix and -trace runs (experiments compare the registry policies themselves)")
+	}
 	return nil
 }
 
@@ -97,6 +102,7 @@ func (o options) config() ascc.Config {
 	cfg.Parallel = o.parallel
 	cfg.TraceCache = o.traceCache
 	cfg.TraceCacheMB = o.traceMB
+	cfg.NoL2Batch = !o.l2Batch
 	if o.scale != 8 {
 		// Scale the default budgets so reuse cycles complete (DESIGN.md §5).
 		cfg.WarmupInstr = cfg.WarmupInstr * 8 / uint64(o.scale)
@@ -127,10 +133,18 @@ func main() {
 	flag.StringVar(&o.traces, "trace", "", "comma-separated trace files (.trc binary or .csv), one per core, replayed under -policy")
 	flag.BoolVar(&o.traceCache, "trace-cache", true, "memoise each workload reference stream in a packed arena and replay it across policies (results are identical either way)")
 	flag.IntVar(&o.traceMB, "trace-cache-mb", 0, "trace cache memory budget in MiB before LRU eviction (0 = default budget; requires -trace-cache)")
+	flag.BoolVar(&o.l2Batch, "l2-batch", true, "resolve each turn's L2 misses through the batched below-L1 engine (results are bit-identical either way; -l2-batch=false is the per-reference A/B reference)")
 	flag.BoolVar(&o.timing, "timing", false, "print wall-clock after each experiment table or ad-hoc run (to stderr under -format csv/json so the stream stays parseable)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
+	// Distinguish "-policy AVGCC" from the default so validate can reject
+	// combinations where the flag would be silently ignored.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "policy" {
+			o.policySet = true
+		}
+	})
 
 	if o.list {
 		fmt.Println("experiments (paper artefact -> id):")

@@ -8,7 +8,7 @@ import (
 
 // base returns the options the flag defaults produce.
 func base() options {
-	return options{scale: 8, seeds: 1, policy: "AVGCC", format: "text", traceCache: true}
+	return options{scale: 8, seeds: 1, policy: "AVGCC", format: "text", traceCache: true, l2Batch: true}
 }
 
 func TestValidate(t *testing.T) {
@@ -35,6 +35,12 @@ func TestValidate(t *testing.T) {
 		{"trace cache off ok", func(o *options) { o.exp = "all"; o.traceCache = false }, ""},
 		{"negative cache budget", func(o *options) { o.traceMB = -1 }, "-trace-cache-mb"},
 		{"budget without cache", func(o *options) { o.traceCache = false; o.traceMB = 64 }, "-trace-cache=false"},
+		{"policy with exp", func(o *options) { o.exp = "fig8"; o.policy = "ASCC"; o.policySet = true }, "-policy"},
+		{"policy with all", func(o *options) { o.exp = "all"; o.policySet = true }, "-policy"},
+		{"policy with mix ok", func(o *options) { o.mix = "445+456"; o.policy = "ASCC"; o.policySet = true }, ""},
+		{"policy with trace ok", func(o *options) { o.traces = "a.trc"; o.policySet = true }, ""},
+		{"default policy with exp ok", func(o *options) { o.exp = "fig8" }, ""},
+		{"l2-batch off ok", func(o *options) { o.exp = "all"; o.l2Batch = false }, ""},
 		{"timing with exp", func(o *options) { o.exp = "fig8"; o.timing = true }, ""},
 		{"timing with mix", func(o *options) { o.mix = "445+456"; o.timing = true }, ""},
 		{"timing with csv exp", func(o *options) { o.exp = "fig8"; o.format = "csv"; o.timing = true }, ""},
@@ -81,6 +87,19 @@ func TestConfigBudgetRescale(t *testing.T) {
 	o.parallel = 3
 	if o.config().Parallel != 3 {
 		t.Fatal("parallel not propagated to the config")
+	}
+}
+
+// TestConfigL2Batch pins the -l2-batch plumbing: the default (batching on)
+// leaves Config.NoL2Batch false, and -l2-batch=false sets it.
+func TestConfigL2Batch(t *testing.T) {
+	if base().config().NoL2Batch {
+		t.Fatal("default config disabled the batched engine")
+	}
+	o := base()
+	o.l2Batch = false
+	if !o.config().NoL2Batch {
+		t.Fatal("-l2-batch=false did not propagate to the config")
 	}
 }
 

@@ -23,7 +23,11 @@ var benchArenas struct {
 // (the harness imports cmp, so cmp benchmarks cannot import the harness).
 // Geometry, timing, trace replay and the AVGCC resize period mirror harness
 // defaults at scale 8.
-func newBenchSystem(b *testing.B) *System {
+func newBenchSystem(b *testing.B) *System { return newBenchSystemOpt(b, false) }
+
+// newBenchSystemOpt additionally lets the caller disable the batched
+// below-L1 engine — the off side of the l2batch A/B.
+func newBenchSystemOpt(b *testing.B, noBatch bool) *System {
 	b.Helper()
 	gens, profs, err := workload.BuildMix([]int{445, 444, 456, 471}, 1, 8)
 	if err != nil {
@@ -33,6 +37,10 @@ func newBenchSystem(b *testing.B) *System {
 		benchArenas.arenas = make([]*trace.Arena, len(gens))
 		for i, g := range gens {
 			benchArenas.arenas[i] = trace.NewArena(g)
+			// Pre-generate well past what benchInstr consumes: otherwise the
+			// lazy extension lands in the first declared benchmark's timed
+			// region and biases every A/B pair against it.
+			benchArenas.arenas[i].Extend(1_000_000)
 		}
 	})
 	for i := range gens {
@@ -43,6 +51,7 @@ func newBenchSystem(b *testing.B) *System {
 		tim[i] = CoreTiming{BaseCPI: pr.BaseCPI, Overlap: pr.Overlap}
 	}
 	p := DefaultParams(4, 8)
+	p.NoL2Batch = noBatch
 	sets := p.L2.SizeBytes / p.L2.LineBytes / p.L2.Ways
 	cfg := policies.AVGCCDefaultConfig(4, sets, p.L2.Ways, 1)
 	cfg.ResizePeriod = 100000 / 64
@@ -67,6 +76,26 @@ func BenchmarkPhaseBurst(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		sys := newBenchSystem(b)
+		b.StartTimer()
+		res := sys.Run(0, benchInstr)
+		for _, c := range res.Cores {
+			total += c.Instructions
+		}
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkPhaseNoBatch is the burst engine with the batched below-L1 path
+// disabled (Params.NoL2Batch): L1 runs still resolve in-kernel, but every
+// L2 demand miss pays its coherence walk, port queueing and policy calls
+// inline. Against BenchmarkPhaseBurst it isolates the win of batching the
+// below-L1 work (the "l2batch" block in BENCH_kernel.json); both sides
+// produce bit-identical results.
+func BenchmarkPhaseNoBatch(b *testing.B) {
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := newBenchSystemOpt(b, true)
 		b.StartTimer()
 		res := sys.Run(0, benchInstr)
 		for _, c := range res.Cores {

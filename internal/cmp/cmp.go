@@ -43,6 +43,14 @@ type Params struct {
 	Prefetch        bool
 	PrefetchEntries int
 	PrefetchDegree  int
+
+	// NoL2Batch disables the batched below-L1 engine (DESIGN.md §12) and
+	// steps the turn's L2 demand misses one fully-resolved descent at a
+	// time, exactly as before the batching rewrite. The zero value — the
+	// batched engine — is the default everywhere; results are bit-identical
+	// either way (FuzzBurstEquivalence holds all three engines together),
+	// so the flag exists for the honest A/B and as an escape hatch.
+	NoL2Batch bool
 }
 
 // DefaultParams returns the paper's Table 2 machine with the geometry scale
@@ -233,6 +241,20 @@ type System struct {
 	front []int32
 
 	lineShift uint
+
+	// Batched below-L1 engine state (l2batch.go). polBuf is the stepping
+	// core's deferred policy events (set<<1|hit) since the last flush; ops
+	// is the port-operation record of the current miss descent; batcher is
+	// the policy's optional bulk event handler; deferPol gates the hit-path
+	// deferral — off when prefetching (whose insert/evict path reads policy
+	// state on L2 hits) and for policies without an AccessBatcher, where
+	// the flush would replay the identical per-event calls and buffering
+	// would be pure overhead.
+	polBuf   []uint32
+	polBase  uint64 // access number preceding polBuf[0]'s
+	ops      []portOp
+	batcher  coop.AccessBatcher
+	deferPol bool
 }
 
 // New builds a system. gens and timing must have p.Cores entries; policy
@@ -286,6 +308,10 @@ func New(p Params, gens []trace.Generator, timing []CoreTiming, policy coop.Poli
 			break
 		}
 	}
+	s.batcher, _ = policy.(coop.AccessBatcher)
+	s.deferPol = s.pf == nil && s.batcher != nil
+	s.polBuf = make([]uint32, 0, 64)
+	s.ops = make([]portOp, 0, 8)
 	return s, nil
 }
 
@@ -317,7 +343,18 @@ func (s *System) Run(warmup, instrPerCore uint64) Results {
 	return res
 }
 
-// runPhase advances every core to the quota, interleaving by local time.
+// runPhase advances every core to the quota: the batched below-L1 engine
+// (l2batch.go) by default, the original one-descent-at-a-time stepping when
+// Params.NoL2Batch asks for the A/B baseline.
+func (s *System) runPhase(quota uint64) {
+	if s.p.NoL2Batch {
+		s.runPhaseNoBatch(quota)
+		return
+	}
+	s.runPhaseBatched(quota)
+}
+
+// runPhaseNoBatch advances every core to the quota, interleaving by local time.
 // Stepping a core only moves that core's clock forward, so the minimum core
 // stays the minimum until it crosses the runner-up: the loop caches the
 // (argmin, second-smallest) frontier and only rescans on a crossing or when
@@ -338,7 +375,11 @@ func (s *System) Run(warmup, instrPerCore uint64) Results {
 // l2Demand, and the frontier scan above, both of which run only after a
 // publish. The differential oracle for all of this is the frozen
 // per-reference loop in refstep_test.go (FuzzBurstEquivalence).
-func (s *System) runPhase(quota uint64) {
+//
+// This function is the NoL2Batch side of the below-L1 batching A/B
+// (DESIGN.md §12) and is kept verbatim: changing it would skew the recorded
+// on/off comparison.
+func (s *System) runPhaseNoBatch(quota uint64) {
 	n := s.p.Cores
 	shift := s.lineShift
 	// The frontier is the active cores sorted by (clock, index) — the lex

@@ -11,15 +11,17 @@ import (
 )
 
 // FuzzBurstEquivalence drives a random machine and reference stream through
-// the live run-to-event engine (System.Run over cachesim.ReadBurst) and the
-// frozen per-reference stepping (refRun, refstep_test.go), then demands
-// bit-identical results: frozen CoreStats, final core clocks, the complete
-// L1 and L2 state (tags, line flags, recency stacks, set counters) and the
-// batch cursors. The decoded input varies every event class the kernel can
-// hit: quota and frontier cut points (diverse BaseCPI), write-hit upgrades
-// (random store bits over a tiny block space), batch wrap-around (streams
-// longer than the 64-ref batch) and both kernel paths (4-way specialized,
-// non-4-way generic).
+// the live run-to-event engine (System.Run over cachesim.ReadBurst with the
+// batched below-L1 engine of l2batch.go), the same engine with batching off
+// (Params.NoL2Batch), and the frozen per-reference stepping (refRun,
+// refstep_test.go), then demands all three bit-identical: frozen CoreStats,
+// final core clocks, the complete L1 and L2 state (tags, line flags,
+// recency stacks, set counters) and the batch cursors. The decoded input
+// varies every event class the kernel can hit: quota and frontier cut
+// points (diverse BaseCPI), write-hit upgrades (random store bits over a
+// tiny block space), batch wrap-around (streams longer than the 64-ref
+// batch), both kernel paths (4-way specialized, non-4-way generic), and the
+// prefetcher (which disables the batched engine's policy-event deferral).
 func FuzzBurstEquivalence(f *testing.F) {
 	f.Add([]byte("burst-kernel-seed"))
 	f.Add([]byte{3, 1, 1, 9, 1, 0x10, 2, 1, 0x31, 5, 0, 0x52, 7, 1})
@@ -39,6 +41,11 @@ func FuzzBurstEquivalence(f *testing.F) {
 		}
 		p := tinyParams(cores)
 		p.L1 = cachesim.Config{SizeBytes: 32 * 2 * l1Ways, Ways: l1Ways, LineBytes: 32}
+		if data[4]&2 != 0 {
+			p.Prefetch = true
+			p.PrefetchEntries = 64
+			p.PrefetchDegree = 2
+		}
 		// Per-core cyclic scripts from the tail bytes: 3 bytes per
 		// reference over a 64-block space (heavy conflict pressure), with
 		// store bits to force upgrade events.
@@ -63,7 +70,9 @@ func FuzzBurstEquivalence(f *testing.F) {
 		for i := range timing {
 			timing[i] = CoreTiming{BaseCPI: 1 + float64((int(data[0])+i)%3)/2, Overlap: 0.5}
 		}
-		build := func() *System {
+		build := func(noBatch bool) *System {
+			pv := p
+			pv.NoL2Batch = noBatch
 			gens := make([]trace.Generator, cores)
 			for i := range gens {
 				gens[i] = script(i)
@@ -77,24 +86,32 @@ func FuzzBurstEquivalence(f *testing.F) {
 			} else {
 				pol = policies.NewBaseline()
 			}
-			sys, err := New(p, gens, timing, pol)
+			sys, err := New(pv, gens, timing, pol)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return sys
 		}
 
-		live := build()
-		oracle := build()
+		live := build(false)
+		unbatched := build(true)
+		oracle := build(false)
 		gotRes := live.Run(warmup, quota)
+		unbRes := unbatched.Run(warmup, quota)
 		wantRes := oracle.refRun(warmup, quota)
 
 		if !reflect.DeepEqual(gotRes, wantRes) {
 			t.Errorf("results diverge:\nburst: %+v\nper-ref: %+v", gotRes, wantRes)
 		}
+		if !reflect.DeepEqual(unbRes, wantRes) {
+			t.Errorf("results diverge:\nno-batch: %+v\nper-ref: %+v", unbRes, wantRes)
+		}
 		for i := 0; i < cores; i++ {
 			if live.clock[i] != oracle.clock[i] {
 				t.Errorf("core %d clock: burst %v, per-ref %v", i, live.clock[i], oracle.clock[i])
+			}
+			if unbatched.clock[i] != oracle.clock[i] {
+				t.Errorf("core %d clock: no-batch %v, per-ref %v", i, unbatched.clock[i], oracle.clock[i])
 			}
 			if live.batches[i].Pos != oracle.batches[i].Pos {
 				t.Errorf("core %d batch cursor: burst %d, per-ref %d",
@@ -102,6 +119,8 @@ func FuzzBurstEquivalence(f *testing.F) {
 			}
 			compareCaches(t, "L1", i, live.l1s[i], oracle.l1s[i])
 			compareCaches(t, "L2", i, live.L2(i), oracle.L2(i))
+			compareCaches(t, "L1/no-batch", i, unbatched.l1s[i], oracle.l1s[i])
+			compareCaches(t, "L2/no-batch", i, unbatched.L2(i), oracle.L2(i))
 		}
 	})
 }

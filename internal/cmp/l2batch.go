@@ -1,0 +1,515 @@
+// The batched below-L1 engine (DESIGN.md §12): run-to-event extended past
+// the L1. The unbatched engine resolves each L2 demand miss as one fully
+// interleaved descent — probe, policy training, coherence, queueing, stat
+// updates — with the core clock published before every descent. This file
+// splits that descent into a decision half and a latency half and defers
+// everything deferrable to a per-turn fold, while producing bit-identical
+// results (golden CSVs, FuzzBurstEquivalence, the frozen refRunPhase
+// oracle):
+//
+//   - Coherence is answered by the ganged slab's fused demand probe
+//     (cachesim.CacheGroup.DemandAccess): the local Access, the peer holder
+//     mask and the serving holder's way come out of one pass over one row,
+//     replacing the Access -> HolderMask -> holder-Lookup triple.
+//
+//   - The decision half (l2DemandBatched and the *Batched call tree below
+//     it) performs every cache/policy mutation in the original order but
+//     issues no port traffic; each bus/memory request is recorded as a
+//     portOp. The latency half (replayOps) then replays the ops in stream
+//     order against the live ports, reproducing the exact same sequence of
+//     Request calls — same timestamps, same queue-delay values, same
+//     floating-point addition order into the miss latency and QueueDelay —
+//     the unbatched engine would have issued.
+//
+//   - Policy events for L2 hits are deferred into a per-turn buffer and
+//     delivered in bulk (coop.AccessBatcher, or the equivalent per-event
+//     loop) at the next miss or at the turn fold. Hits read no policy state
+//     and train only the stepping core's own bank, so delaying them to the
+//     next policy read is invisible. With prefetching enabled the hit path
+//     can reach policy reads (a prefetch fill may evict and spill), so the
+//     deferral is disabled there (s.deferPol).
+//
+//   - CoreStats' float accumulators (LatencySum, QueueDelay) are carried in
+//     registers across the turn (turnAcc) and stored once at the fold. The
+//     adds execute in the identical per-access order, so the fold is
+//     bitwise-identical to field-at-a-time updates — only the loads/stores
+//     between them disappear. Counter deltas fold the same way.
+//
+// Clock contract (the satellite-1 audit): the unbatched engine publishes
+// s.clock[c] before every descent because the ports read it. The batched
+// engine instead passes the running clock by value into the descent and the
+// replay; s.clock[c] holds the turn-start value until the fold. That is
+// sound because the only below-L1 readers of s.clock are the port replays
+// here, and they read either the by-value stepping clock (op.src == c) or a
+// peer's clock (receiver-side dirty writebacks, op.src == r != c), and a
+// peer's clock is only ever written at that peer's own turn fold — exactly
+// the value the unbatched engine would have read mid-descent. The frontier
+// scan reads s.clock only between turns, after the fold. TestL2BatchClock*
+// pins this.
+package cmp
+
+import (
+	"math"
+	"math/bits"
+
+	"ascc/internal/cachesim"
+	"ascc/internal/coop"
+	"ascc/internal/ssl"
+)
+
+// portOp records one deferred port request of a miss descent: which port,
+// whose clock timestamps the request, whose QueueDelay accrues the queue
+// delay (-1 discards it, as the spill-bus and prefetch requests do), and
+// whether the delay joins the miss latency.
+type portOp struct {
+	src    int16
+	charge int16
+	mem    bool
+	inLat  bool
+}
+
+// turnAcc carries one turn's deferred CoreStats state for the stepping
+// core: the float accumulators as running register values (loaded at turn
+// start, stored at the fold) and the integer counters as deltas.
+type turnAcc struct {
+	latencySum float64
+	queueDelay float64
+	l2Accesses uint64
+	localHits  uint64
+	remoteHits uint64
+	memFills   uint64
+}
+
+// recBus / recMem append a deferred port request to the descent record.
+func (s *System) recBus(src, charge int, inLat bool) {
+	s.ops = append(s.ops, portOp{src: int16(src), charge: int16(charge), inLat: inLat})
+}
+
+func (s *System) recMem(src, charge int, inLat bool) {
+	s.ops = append(s.ops, portOp{src: int16(src), charge: int16(charge), mem: true, inLat: inLat})
+}
+
+// replayOps is the latency half: it replays the descent's recorded port
+// requests in stream order, accumulating inLat queue delays onto lat in the
+// same order the unbatched engine added them, and charging QueueDelay to
+// the recorded cores (the stepping core's share goes through the turn
+// accumulator). clock is the stepping core's by-value running clock; a
+// request by any other core reads that core's published (turn-fold) clock.
+func (s *System) replayOps(c int, clock, lat float64, ta *turnAcc) float64 {
+	for _, op := range s.ops {
+		t := clock
+		if int(op.src) != c {
+			t = s.clock[op.src]
+		}
+		var qd float64
+		if op.mem {
+			qd = s.memPort.Request(t)
+		} else {
+			qd = s.bus.Request(t)
+		}
+		if op.inLat {
+			lat += qd
+		}
+		switch int(op.charge) {
+		case c:
+			ta.queueDelay += qd
+		case -1:
+		default:
+			s.live[op.charge].QueueDelay += qd
+		}
+	}
+	s.ops = s.ops[:0]
+	return lat
+}
+
+// flushPolicy delivers the deferred hit events of the stepping core, in
+// order, with their original access numbers (polBase, recorded when the
+// buffer started — s.l2Accesses[c] may already count an in-flight miss when
+// the miss path flushes). Called before any policy read (the miss path) and
+// at the turn fold.
+func (s *System) flushPolicy(c int) {
+	if len(s.polBuf) == 0 {
+		return
+	}
+	base := s.polBase
+	if s.batcher != nil {
+		s.batcher.OnL2AccessBatch(c, s.polBuf, base)
+	} else {
+		for i, e := range s.polBuf {
+			s.policy.OnL2Access(c, int(e>>1), e&1 == 1)
+			s.policy.Tick(c, base+uint64(i)+1)
+		}
+	}
+	s.polBuf = s.polBuf[:0]
+}
+
+// runPhaseBatched is runPhaseNoBatch with the batched below-L1 engine: the
+// same incremental (clock, index)-sorted frontier and L1 burst stepping,
+// but descents go through l2DemandBatched with the clock passed by value,
+// and the turn fold additionally flushes deferred policy events and stores
+// the turn accumulator. See the file comment for the equivalence argument.
+func (s *System) runPhaseBatched(quota uint64) {
+	n := s.p.Cores
+	shift := s.lineShift
+	front := s.front[:0]
+	for i := 0; i < n; i++ {
+		if s.done[i] {
+			continue
+		}
+		j := len(front)
+		front = append(front, int32(i))
+		for ; j > 0; j-- {
+			p := front[j-1]
+			if s.clock[p] < s.clock[i] || (s.clock[p] == s.clock[i] && p < int32(i)) {
+				break
+			}
+			front[j], front[j-1] = front[j-1], front[j]
+		}
+	}
+	for len(front) > 0 {
+		c := int(front[0])
+		second := math.Inf(1)
+		if len(front) > 1 {
+			second = s.clock[front[1]]
+		}
+		st := &s.live[c]
+		t := s.timing[c]
+		gen := s.gens[c]
+		bt := &s.batches[c]
+		l1 := s.l1s[c]
+		instr := st.Instructions
+		clock := s.clock[c]
+		ta := turnAcc{latencySum: st.LatencySum, queueDelay: st.QueueDelay}
+		var accesses, allHits uint64
+		var ev cachesim.BurstEvent
+		var hits, block uint64
+		var way int
+		var write bool
+	stepping:
+		for {
+			ev, instr, clock, hits, block, way, write =
+				l1.ReadBurst(bt, shift, t.BaseCPI, quota, second, instr, clock)
+			accesses += hits
+			allHits += hits
+			switch ev {
+			case cachesim.BurstBatchEnd:
+				bt.Refill(gen)
+				continue
+			case cachesim.BurstQuota, cachesim.BurstFrontier:
+				break stepping
+			case cachesim.BurstUpgrade:
+				// Write-through upgrade: no ports, no policy, no latency —
+				// identical to the unbatched engine.
+				line := l1.Line(l1.SetIndex(block), way)
+				s.writeThroughHit(c, block)
+				line.State = cachesim.Modified
+			case cachesim.BurstMiss:
+				accesses++
+				lat := s.l2DemandBatched(c, block, write, clock, &ta)
+				clock += lat * t.Overlap
+			}
+			if instr >= quota || clock >= second {
+				break stepping
+			}
+		}
+		// Turn fold: deferred policy events, then the accumulated stats,
+		// then the clock — all before the frontier (or a freeze) can
+		// observe them.
+		s.flushPolicy(c)
+		st.Instructions = instr
+		st.L1Accesses += accesses
+		st.L1Hits += allHits
+		st.Cycles = clock
+		st.L2Accesses += ta.l2Accesses
+		st.L2LocalHits += ta.localHits
+		st.L2RemoteHits += ta.remoteHits
+		st.L2MemFills += ta.memFills
+		st.LatencySum = ta.latencySum
+		st.QueueDelay = ta.queueDelay
+		s.clock[c] = clock
+		if instr >= quota {
+			s.frozen[c] = *st
+			s.done[c] = true
+			front = front[1:]
+			continue
+		}
+		j := 0
+		for j+1 < len(front) {
+			nx := front[j+1]
+			cv := s.clock[nx]
+			if cv < clock || (cv == clock && int(nx) < c) {
+				front[j] = nx
+				j++
+			} else {
+				break
+			}
+		}
+		front[j] = int32(c)
+	}
+}
+
+// l2DemandBatched is l2Demand split into its decision half (executed here,
+// recording port ops) and latency half (replayOps). clock is the stepping
+// core's running clock, passed by value; ta is the turn accumulator.
+func (s *System) l2DemandBatched(c int, block uint64, write bool, clock float64, ta *turnAcc) float64 {
+	st := &s.live[c]
+	l2 := s.l2s[c]
+	set := l2.SetIndex(block)
+	ta.l2Accesses++
+	s.l2Accesses[c]++
+	w, hit, holders, hway := s.group.DemandAccess(c, block)
+
+	if hit {
+		if s.deferPol {
+			if len(s.polBuf) == 0 {
+				s.polBase = s.l2Accesses[c] - 1
+			}
+			s.polBuf = append(s.polBuf, uint32(set)<<1|1)
+		} else {
+			s.policy.OnL2Access(c, set, true)
+		}
+		line := l2.Line(set, w)
+		line.Reused = true
+		if line.Prefetch {
+			line.Prefetch = false
+			st.PrefUseful++
+		}
+		if write {
+			if line.State == cachesim.Shared {
+				s.invalidateOthers(block, c)
+				st.BusTransfers++
+			}
+			line.State = cachesim.Modified
+			line.Dirty = true
+		}
+		ta.localHits++
+		lat := s.p.L2LocalHitCycles
+		s.fillL1(c, block)
+		if s.pf != nil {
+			s.trainPrefetcherBatched(c, block)
+			lat = s.replayOps(c, clock, lat, ta)
+			ta.latencySum += lat
+			s.policy.Tick(c, s.l2Accesses[c])
+			return lat
+		}
+		ta.latencySum += lat
+		if !s.deferPol {
+			// Direct delivery (no AccessBatcher): the Tick the flush would
+			// otherwise replay happens here, in access order.
+			s.policy.Tick(c, s.l2Accesses[c])
+		}
+		return lat
+	}
+
+	// Miss: every path below reads policy state, so deliver the deferred
+	// hit events first, then this access's own event, in order.
+	s.flushPolicy(c)
+	s.policy.OnL2Access(c, set, false)
+	tick := s.l2Accesses[c]
+
+	s.recBus(c, c, true)
+	st.BusTransfers++
+	var lat float64
+	if holders != 0 {
+		lat = s.p.L2RemoteHitCycles
+		ta.remoteHits++
+		s.remoteHitBatched(c, block, set, holders, hway, write)
+	} else {
+		s.recMem(c, c, true)
+		lat = s.p.MemLatencyCycles
+		ta.memFills++
+		st.OffChip++
+		state := cachesim.Exclusive
+		if write {
+			state = cachesim.Modified
+		}
+		s.insertAndEvictBatched(c, block, cachesim.Line{State: state, Dirty: write, Owner: int16(c)})
+		s.fillL1(c, block)
+	}
+	if s.pf != nil {
+		s.trainPrefetcherBatched(c, block)
+	}
+	lat = s.replayOps(c, clock, lat, ta)
+	ta.latencySum += lat
+	s.policy.Tick(c, tick)
+	return lat
+}
+
+// remoteHitBatched is remoteHit's decision half: identical protocol and
+// mutation order, with the holder's way supplied by the fused demand probe
+// (no re-Lookup) and the M->S writeback recorded instead of issued.
+func (s *System) remoteHitBatched(c int, block uint64, set int, holders uint64, hway int, write bool) {
+	st := &s.live[c]
+	r := bits.TrailingZeros64(holders)
+	l2r := s.l2s[r]
+	rw := hway
+	rl := *l2r.Line(set, rw)
+	lastCopy := holders&(holders-1) == 0
+
+	if rl.Spilled {
+		s.live[rl.Owner].SpillHits++
+	}
+
+	if write {
+		for m := holders; m != 0; m &= m - 1 {
+			h := bits.TrailingZeros64(m)
+			s.l2s[h].Invalidate(block)
+			s.l1s[h].Invalidate(block)
+			st.BusTransfers++
+		}
+		proto := cachesim.Line{State: cachesim.Modified, Dirty: true, Reused: true, Owner: int16(c)}
+		if !(lastCopy && s.allocWithSwap(c, block, r, rw, proto)) {
+			s.insertAndEvictBatched(c, block, proto)
+		}
+		s.fillL1(c, block)
+		return
+	}
+
+	if s.policy.SwapEnabled() && lastCopy {
+		s.l1s[r].Invalidate(block)
+		l2r.Invalidate(block)
+		state := cachesim.Exclusive
+		if rl.Dirty {
+			state = cachesim.Modified
+		}
+		proto := cachesim.Line{State: state, Dirty: rl.Dirty, Reused: true, Owner: rl.Owner}
+		if !s.allocWithSwap(c, block, r, rw, proto) {
+			s.insertAndEvictBatched(c, block, proto)
+		}
+		s.fillL1(c, block)
+		st.BusTransfers++
+		return
+	}
+
+	if rl.Spilled {
+		l2r.Touch(set, rw)
+		l2r.Line(set, rw).Reused = true
+		st.BusTransfers++
+		return
+	}
+
+	if rl.State == cachesim.Modified {
+		// M -> S: the dirty data reaches memory on the requester's clock,
+		// charged to the requester but outside the miss latency.
+		s.recMem(c, c, false)
+		s.live[r].Writebacks++
+		s.live[r].OffChip++
+		l2r.Line(set, rw).Dirty = false
+		l1r := s.l1s[r]
+		if lw, ok := l1r.Lookup(block); ok {
+			l1r.Line(l1r.SetIndex(block), lw).State = cachesim.Exclusive
+		}
+	}
+	l2r.Line(set, rw).State = cachesim.Shared
+	st.BusTransfers++
+	s.insertAndEvictBatched(c, block, cachesim.Line{State: cachesim.Shared, Owner: int16(c)})
+	s.fillL1(c, block)
+}
+
+// insertAndEvictBatched is insertAndEvict with the eviction routed through
+// the recording path.
+func (s *System) insertAndEvictBatched(c int, block uint64, proto cachesim.Line) {
+	l2 := s.l2s[c]
+	set := l2.SetIndex(block)
+	pos := s.policy.InsertPos(c, set)
+	var ev cachesim.Line
+	if allow := s.policy.DemandVictimAllow(c, set); allow != nil {
+		w := l2.VictimAmong(set, allow)
+		if w < 0 {
+			w = l2.VictimInSet(set)
+		}
+		ev = l2.InsertWay(block, w, pos, proto)
+	} else {
+		ev = l2.Insert(block, pos, proto)
+	}
+	s.handleEvictionBatched(c, set, ev, true)
+}
+
+// handleEvictionBatched is handleEviction's decision half: the dirty
+// writeback's memory request is recorded (timestamped with and charged to
+// the evicting core — which on receiver-side evictions is the receiver,
+// whose published clock the replay reads) instead of issued.
+func (s *System) handleEvictionBatched(c, set int, ev cachesim.Line, allowSpill bool) {
+	if !ev.Valid() {
+		return
+	}
+	s.l1s[c].Invalidate(ev.Tag)
+	if !s.isLastCopy(ev.Tag, c) {
+		return
+	}
+	st := &s.live[c]
+	if allowSpill && !ev.Prefetch &&
+		(!ev.Spilled || s.policy.AllowRespill()) &&
+		s.policy.Role(c, set) == ssl.Spiller {
+		if !ev.Reused && !ev.Spilled && s.policy.SpillRequiresReuse() {
+			s.policy.OnSpillFail(c, set)
+		} else {
+			for _, r := range s.policy.Receivers(c, set) {
+				if r != c && s.spillIntoBatched(c, r, set, ev) {
+					return
+				}
+			}
+			s.policy.OnSpillFail(c, set)
+		}
+	}
+	if ev.Dirty {
+		s.recMem(c, c, false)
+		st.Writebacks++
+		st.OffChip++
+	}
+}
+
+// spillIntoBatched is spillInto's decision half: the spill's bus transfer is
+// recorded (its queue delay was always discarded) instead of issued.
+func (s *System) spillIntoBatched(c, r, set int, ev cachesim.Line) bool {
+	l2r := s.l2s[r]
+	pos := s.policy.SpillInsertPos(r, set, ev.Reused)
+	proto := ev
+	proto.Spilled = true
+	proto.Prefetch = false
+	proto.Reused = false
+	var ev2 cachesim.Line
+	switch s.policy.GuestVictim() {
+	case coop.GuestDeadLines:
+		w, ok := l2r.VictimDead(set)
+		if !ok {
+			return false
+		}
+		ev2 = l2r.InsertWay(ev.Tag, w, pos, proto)
+	case coop.GuestRegion:
+		allow := s.policy.SpillVictimAllow(r, set)
+		w := l2r.VictimAmong(set, allow)
+		if w < 0 {
+			return false
+		}
+		ev2 = l2r.InsertWay(ev.Tag, w, pos, proto)
+	default:
+		ev2 = l2r.Insert(ev.Tag, pos, proto)
+	}
+	s.handleEvictionBatched(r, set, ev2, false)
+	s.recBus(c, -1, false)
+	s.live[c].SpillsOut++
+	s.live[c].BusTransfers++
+	s.live[r].SpillsIn++
+	return true
+}
+
+// trainPrefetcherBatched is trainPrefetcher with the per-proposal presence
+// check fused into one ganged-row probe (local copy and peer holders in the
+// same scan) and the fetch's port traffic recorded. Proposals stay
+// sequential: an earlier proposal's insert can evict a later proposal's
+// block, so probing them as a batch would not be bit-exact.
+func (s *System) trainPrefetcherBatched(c int, block uint64) {
+	st := &s.live[c]
+	for _, pb := range s.pf[c].Observe(block) {
+		if s.group.Probe(pb).Holders != 0 {
+			continue // already on chip, locally or in a peer
+		}
+		s.recBus(c, -1, false)
+		s.recMem(c, -1, false)
+		st.PrefIssued++
+		st.OffChip++
+		st.BusTransfers++
+		s.insertAndEvictBatched(c, pb, cachesim.Line{State: cachesim.Exclusive, Prefetch: true, Owner: int16(c)})
+	}
+}

@@ -1,0 +1,296 @@
+package cmp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ascc/internal/cachesim"
+	"ascc/internal/coop"
+	"ascc/internal/policies"
+	"ascc/internal/ssl"
+	"ascc/internal/trace"
+)
+
+// buildPair constructs the same machine twice — batched engine and
+// NoL2Batch — with independent generator and policy instances.
+func buildPair(t *testing.T, p Params, mkGens func() []trace.Generator,
+	timing []CoreTiming, mkPol func() coop.Policy) (batched, unbatched *System) {
+	t.Helper()
+	pn := p
+	pn.NoL2Batch = true
+	var err error
+	if batched, err = New(p, mkGens(), timing, mkPol()); err != nil {
+		t.Fatal(err)
+	}
+	if unbatched, err = New(pn, mkGens(), timing, mkPol()); err != nil {
+		t.Fatal(err)
+	}
+	return batched, unbatched
+}
+
+// requireIdentical demands bit-identical Results, clocks and cache state
+// between the two engines.
+func requireIdentical(t *testing.T, batched, unbatched *System, a, b Results) {
+	t.Helper()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("engines diverge:\nbatched:  %+v\nno-batch: %+v", a, b)
+	}
+	for i := range batched.clock {
+		if batched.clock[i] != unbatched.clock[i] {
+			t.Errorf("core %d clock: batched %v, no-batch %v", i, batched.clock[i], unbatched.clock[i])
+		}
+		compareCaches(t, "L1", i, batched.l1s[i], unbatched.l1s[i])
+		compareCaches(t, "L2", i, batched.L2(i), unbatched.L2(i))
+	}
+}
+
+// TestL2BatchEquivalenceAcrossPolicies runs the batched and unbatched
+// engines over every policy family on a contended machine (nonzero bus and
+// memory occupancies, so queue-delay values depend on exact request
+// ordering and timestamps) and demands bit-identical results.
+func TestL2BatchEquivalenceAcrossPolicies(t *testing.T) {
+	p := tinyParams(3)
+	p.BusOccupancy = 4
+	p.MemOccupancy = 16
+	sets := p.L2.SizeBytes / p.L2.LineBytes / p.L2.Ways
+	pols := map[string]func() coop.Policy{
+		"baseline": func() coop.Policy { return policies.NewBaseline() },
+		"CC":       func() coop.Policy { return policies.NewCC(3, 7) },
+		"DSR":      func() coop.Policy { return policies.NewDSR(3, sets, p.L2.Ways, 7) },
+		"ASCC":     func() coop.Policy { return policies.NewASCC(3, sets, p.L2.Ways, 7) },
+		"AVGCC": func() coop.Policy {
+			cfg := policies.AVGCCDefaultConfig(3, sets, p.L2.Ways, 7)
+			cfg.ResizePeriod = 64
+			return policies.NewASCCVariant("AVGCC", cfg)
+		},
+		"QoS-AVGCC": func() coop.Policy {
+			cfg := policies.AVGCCDefaultConfig(3, sets, p.L2.Ways, 7)
+			cfg.ResizePeriod = 64
+			cfg.QoS = true
+			return policies.NewASCCVariant("QoS-AVGCC", cfg)
+		},
+	}
+	mkGens := func() []trace.Generator {
+		return []trace.Generator{
+			&scriptGen{name: "storm", refs: append(loopRefs(0, 4, 6, 1), trace.Ref{Addr: 0, Gap: 1, Write: true})},
+			&scriptGen{name: "light", refs: loopRefs(1, 4, 3, 2)},
+			&scriptGen{name: "mixed", refs: append(loopRefs(2, 4, 5, 1), trace.Ref{Addr: 2 * 32, Gap: 3, Write: true})},
+		}
+	}
+	for name, mkPol := range pols {
+		t.Run(name, func(t *testing.T) {
+			batched, unbatched := buildPair(t, p, mkGens, evenTiming(3), mkPol)
+			a := batched.Run(500, 4000)
+			b := unbatched.Run(500, 4000)
+			requireIdentical(t, batched, unbatched, a, b)
+		})
+	}
+}
+
+// TestL2BatchClockContract pins the lazy-clock publication contract
+// (DESIGN.md §12): every below-L1 port request must observe the same clock
+// in both engines — the stepping core's running clock for its own traffic,
+// and the receiver's turn-fold clock for receiver-side dirty writebacks
+// triggered by an incoming spill. The scenario forces exactly that cross-
+// core path: core 1 dirties never-reused lines in set 0 (dead, dirty —
+// guest-admission victims), then decays its SSL with L2 hits elsewhere so
+// it turns receiver, while core 0 saturates set 0 with reused last-copy
+// victims that spill into core 1 and displace the dirty lines. With
+// nonzero occupancies, a batched engine reading the wrong clock would shift
+// the writeback's queue delay and diverge.
+func TestL2BatchClockContract(t *testing.T) {
+	p := tinyParams(2)
+	p.BusOccupancy = 4
+	p.MemOccupancy = 16
+	sets := p.L2.SizeBytes / p.L2.LineBytes / p.L2.Ways
+	mkPol := func() coop.Policy {
+		cfg := policies.AVGCCDefaultConfig(2, sets, p.L2.Ways, 3)
+		cfg.ResizePeriod = 1 << 20 // no resizes: roles evolve only via SSL
+		cfg.Granularity = 0        // per-set counters
+		cfg.Dynamic = false
+		return policies.NewASCCVariant("ASCC", cfg)
+	}
+	mkGens := func() []trace.Generator {
+		// Core 0: L2 set-0 storm, re-references at distance 3 (past the
+		// 2-way L1, inside the 4-way L2) so victims are reused.
+		storm := make([]trace.Ref, 0, 10)
+		for _, b := range []uint64{0, 4, 8, 12, 0, 4, 8, 12, 16, 20} {
+			storm = append(storm, trace.Ref{Addr: b * 32, Gap: 1})
+		}
+		// Core 1: dirty four set-0 blocks once (dead + dirty guests-to-be),
+		// then loop L2 hits in sets 1-3 to decay the set-0 SSL's cache-wide
+		// pressure and keep the cache receiving.
+		recv := []trace.Ref{
+			{Addr: 24 * 32, Gap: 1, Write: true}, {Addr: 28 * 32, Gap: 1, Write: true},
+			{Addr: 32 * 32, Gap: 1, Write: true}, {Addr: 36 * 32, Gap: 1, Write: true},
+		}
+		recv = append(recv, loopRefs(1, 4, 6, 1)...)
+		recv = append(recv, loopRefs(2, 4, 6, 1)...)
+		return []trace.Generator{
+			&scriptGen{name: "storm", refs: storm},
+			&scriptGen{name: "recv", refs: recv},
+		}
+	}
+	batched, unbatched := buildPair(t, p, mkGens, evenTiming(2), mkPol)
+	a := batched.Run(0, 6000)
+	b := unbatched.Run(0, 6000)
+	requireIdentical(t, batched, unbatched, a, b)
+	if a.Cores[0].SpillsOut == 0 && a.Cores[0].Swaps == 0 {
+		t.Fatalf("scenario failed to spill or swap: %+v", a.Cores[0])
+	}
+	if a.Cores[1].Writebacks == 0 {
+		t.Fatalf("scenario produced no receiver-side writebacks: %+v", a.Cores[1])
+	}
+	if a.Cores[1].QueueDelay == 0 {
+		t.Fatalf("receiver accrued no queue delay: %+v", a.Cores[1])
+	}
+}
+
+// spyPolicy wraps a real policy and records the full call sequence,
+// including returned values where they feed the engine's decisions. It
+// deliberately does NOT implement coop.AccessBatcher, so the batched engine
+// must deliver deferred events through the per-event fallback loop — the
+// recorded sequence then proves the deferral is invisible to policies.
+type spyPolicy struct {
+	inner coop.Policy
+	log   []string
+}
+
+func (s *spyPolicy) rec(format string, args ...any) {
+	s.log = append(s.log, fmt.Sprintf(format, args...))
+}
+
+func (s *spyPolicy) Name() string { return s.inner.Name() }
+func (s *spyPolicy) OnL2Access(c, set int, hit bool) {
+	s.rec("OnL2Access(%d,%d,%v)", c, set, hit)
+	s.inner.OnL2Access(c, set, hit)
+}
+func (s *spyPolicy) Role(c, set int) ssl.Role {
+	r := s.inner.Role(c, set)
+	s.rec("Role(%d,%d)=%v", c, set, r)
+	return r
+}
+func (s *spyPolicy) Receivers(c, set int) []int {
+	r := s.inner.Receivers(c, set)
+	s.rec("Receivers(%d,%d)=%v", c, set, r)
+	return r
+}
+func (s *spyPolicy) OnSpillFail(c, set int) {
+	s.rec("OnSpillFail(%d,%d)", c, set)
+	s.inner.OnSpillFail(c, set)
+}
+func (s *spyPolicy) InsertPos(c, set int) cachesim.InsertPos {
+	p := s.inner.InsertPos(c, set)
+	s.rec("InsertPos(%d,%d)=%v", c, set, p)
+	return p
+}
+func (s *spyPolicy) SpillInsertPos(c, set int, guestReused bool) cachesim.InsertPos {
+	p := s.inner.SpillInsertPos(c, set, guestReused)
+	s.rec("SpillInsertPos(%d,%d,%v)=%v", c, set, guestReused, p)
+	return p
+}
+func (s *spyPolicy) AllowRespill() bool       { return s.inner.AllowRespill() }
+func (s *spyPolicy) SpillRequiresReuse() bool { return s.inner.SpillRequiresReuse() }
+func (s *spyPolicy) SwapEnabled() bool        { return s.inner.SwapEnabled() }
+func (s *spyPolicy) GuestVictim() coop.GuestVictimMode {
+	return s.inner.GuestVictim()
+}
+func (s *spyPolicy) DemandVictimAllow(c, set int) func(int) bool {
+	return s.inner.DemandVictimAllow(c, set)
+}
+func (s *spyPolicy) SpillVictimAllow(c, set int) func(int) bool {
+	return s.inner.SpillVictimAllow(c, set)
+}
+func (s *spyPolicy) Tick(c int, accesses uint64) {
+	s.rec("Tick(%d,%d)", c, accesses)
+	s.inner.Tick(c, accesses)
+}
+
+// TestL2BatchPolicyCallSequence proves the batched engine's policy-event
+// deferral is unobservable: the exact sequence of policy invocations
+// (training events, ticks, roles, receiver draws, insertion positions —
+// with arguments and returned values) is identical to the unbatched
+// engine's.
+func TestL2BatchPolicyCallSequence(t *testing.T) {
+	p := tinyParams(2)
+	p.BusOccupancy = 2
+	p.MemOccupancy = 8
+	sets := p.L2.SizeBytes / p.L2.LineBytes / p.L2.Ways
+	mkSpy := func() *spyPolicy {
+		cfg := policies.AVGCCDefaultConfig(2, sets, p.L2.Ways, 11)
+		cfg.ResizePeriod = 32
+		return &spyPolicy{inner: policies.NewASCCVariant("AVGCC", cfg)}
+	}
+	mkGens := func() []trace.Generator {
+		return []trace.Generator{
+			&scriptGen{name: "a", refs: append(loopRefs(0, 4, 6, 1), trace.Ref{Addr: 4 * 32, Gap: 1, Write: true})},
+			&scriptGen{name: "b", refs: loopRefs(1, 4, 3, 2)},
+		}
+	}
+	spyA, spyB := mkSpy(), mkSpy()
+	batched, err := New(p, mkGens(), evenTiming(2), spyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := p
+	pn.NoL2Batch = true
+	unbatched, err := New(pn, mkGens(), evenTiming(2), spyB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA := batched.Run(200, 2500)
+	resB := unbatched.Run(200, 2500)
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("results diverge under spy:\nbatched:  %+v\nno-batch: %+v", resA, resB)
+	}
+	if len(spyA.log) == 0 {
+		t.Fatal("spy recorded no policy calls")
+	}
+	if len(spyA.log) != len(spyB.log) {
+		t.Fatalf("call counts diverge: batched %d, no-batch %d", len(spyA.log), len(spyB.log))
+	}
+	for i := range spyA.log {
+		if spyA.log[i] != spyB.log[i] {
+			t.Fatalf("call %d diverges:\nbatched:  %s\nno-batch: %s", i, spyA.log[i], spyB.log[i])
+		}
+	}
+}
+
+// TestL2BatchGroupProbeAgreement checks the batch probe API against the
+// single-block probes on live post-run cache state (the engine-facing
+// contract of cachesim.ProbeBatch).
+func TestL2BatchGroupProbeAgreement(t *testing.T) {
+	p := tinyParams(2)
+	mkGens := func() []trace.Generator {
+		return []trace.Generator{
+			&scriptGen{name: "a", refs: loopRefs(0, 4, 6, 1)},
+			&scriptGen{name: "b", refs: loopRefs(0, 4, 3, 1)},
+		}
+	}
+	sys, err := New(p, mkGens(), evenTiming(2), policies.NewBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(0, 2000)
+	blocks := make([]uint64, 0, 32)
+	for b := uint64(0); b < 32; b++ {
+		blocks = append(blocks, b)
+	}
+	out := make([]cachesim.GroupProbe, len(blocks))
+	sys.group.ProbeBatch(blocks, out)
+	for i, b := range blocks {
+		if got, want := out[i], sys.group.Probe(b); got != want {
+			t.Errorf("block %d: batch %+v, single %+v", b, got, want)
+		}
+		holders := sys.group.HolderMask(b)
+		if out[i].Holders != holders {
+			t.Errorf("block %d: probe holders %b, HolderMask %b", b, out[i].Holders, holders)
+		}
+		for c := 0; c < 2; c++ {
+			if got, want := out[i].LastCopyFor(c), sys.group.LastCopy(b, c); got != want {
+				t.Errorf("block %d except %d: LastCopyFor %v, LastCopy %v", b, c, got, want)
+			}
+		}
+	}
+}

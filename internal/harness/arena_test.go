@@ -114,6 +114,38 @@ func TestArenaSharedAcrossConfigsOnOnePool(t *testing.T) {
 	}
 }
 
+// TestArenaBudgetUnionAcrossRunners is the regression for the pool budget
+// gap: the first runner's TraceCacheMB used to fix the shared cache's
+// budget forever, silently capping any later runner that asked for more.
+// The pool must reconcile to the most permissive budget, in either
+// attachment order.
+func TestArenaBudgetUnionAcrossRunners(t *testing.T) {
+	mk := func(mbFirst, mbSecond int) int64 {
+		p := NewPool(1)
+		cfgA := arenaConfig().WithPool(p)
+		cfgA.TraceCacheMB = mbFirst
+		cfgB := arenaConfig().WithPool(p)
+		cfgB.TraceCacheMB = mbSecond
+		ra, rb := SharedRunner(cfgA), SharedRunner(cfgB)
+		if ra.arenas != rb.arenas {
+			t.Fatal("pool-attached runners did not share the arena cache")
+		}
+		return ra.arenas.MaxBytes()
+	}
+	const mi = int64(1 << 20)
+	if got := mk(1, 512); got != 512*mi {
+		t.Fatalf("small-then-large: budget %d, want %d", got, 512*mi)
+	}
+	if got := mk(512, 1); got != 512*mi {
+		t.Fatalf("large-then-small: budget %d, want %d", got, 512*mi)
+	}
+	// TraceCacheMB = 0 resolves to the default, which participates in the
+	// union like any explicit bound.
+	if got := mk(1, 0); got != int64(DefaultTraceCacheMB)*mi {
+		t.Fatalf("small-then-default: budget %d, want %d", got, int64(DefaultTraceCacheMB)*mi)
+	}
+}
+
 // TestArenaDisabled pins the opt-out: no cache is attached and runs still
 // work on live generation.
 func TestArenaDisabled(t *testing.T) {

@@ -53,6 +53,12 @@ type Config struct {
 	// budget is exceeded. 0 uses DefaultTraceCacheMB. Only meaningful when
 	// TraceCache is set.
 	TraceCacheMB int
+	// NoL2Batch disables the batched below-L1 engine (cmp.Params.NoL2Batch,
+	// DESIGN.md §12): each L2 demand miss then resolves its coherence,
+	// queueing and policy work inline per reference. Results are
+	// bit-identical either way; the toggle exists for A/B timing and as an
+	// escape hatch.
+	NoL2Batch bool
 
 	// pool, when non-nil, is the worker pool shared by every Runner built
 	// from this configuration (set via WithPool / EnsurePool). The zero
@@ -117,6 +123,7 @@ func (c Config) params(cores int) cmp.Params {
 		p.L2.SizeBytes = c.L2SizeBytes / c.Scale
 	}
 	p.Prefetch = c.Prefetch
+	p.NoL2Batch = c.NoL2Batch
 	return p
 }
 

@@ -53,13 +53,18 @@ func (p *Pool) run(f func()) {
 }
 
 // arenaCache returns the pool's shared packed-stream cache, creating it
-// with the given budget on first use (later callers reuse the existing
-// cache whatever their budget — one budget per pool).
+// with the given budget on first use. Later callers with a more permissive
+// budget raise the shared one (never shrink it): a runner configured for a
+// larger trace cache must not be silently capped to whatever the pool's
+// first runner asked for, which would evict arenas that concurrent runs
+// are still extending and re-pay their generation passes.
 func (p *Pool) arenaCache(maxBytes int64) *trace.ArenaCache {
 	p.arenaMu.Lock()
 	defer p.arenaMu.Unlock()
 	if p.arenas == nil {
 		p.arenas = trace.NewArenaCache(maxBytes)
+	} else {
+		p.arenas.Raise(maxBytes)
 	}
 	return p.arenas
 }

@@ -67,6 +67,15 @@ type Bank struct {
 	a int // pairs of adjacent in-use counters fulfilling the "similar" condition
 	b int // in-use counters with value < K
 
+	// abDirty marks a and b stale. The A/B counters are read only at resize
+	// boundaries (Resize / A / B), so instead of re-evaluating the pair
+	// condition around every counter nudge, mutations just set this flag and
+	// the reader recounts — one O(counters) pass per ResizePeriod accesses
+	// instead of two pairSimilar evaluations per access. The recount yields
+	// exactly the value incremental maintenance would have (it is a pure
+	// function of counters/bip), so observable behaviour is unchanged.
+	abDirty bool
+
 	missIncr int // fixed point; One normally, QoSRatio<<0 for QoS-AVGCC
 }
 
@@ -129,10 +138,10 @@ func (b *Bank) D() int { return b.d }
 func (b *Bank) InUse() int { return b.numSets >> b.d }
 
 // A returns the similar-adjacent-pairs counter (AVGCC's A).
-func (b *Bank) A() int { return b.a }
+func (b *Bank) A() int { b.ensureAB(); return b.a }
 
 // B returns the counters-below-K counter (AVGCC's B).
-func (b *Bank) B() int { return b.b }
+func (b *Bank) B() int { b.ensureAB(); return b.b }
 
 // SetGranularity forces granularity exponent d (ASCC with a fixed grouping,
 // Table 1). All counters are reinitialised.
@@ -173,8 +182,16 @@ func (b *Bank) reinit() {
 	b.recountAB()
 }
 
+// ensureAB recounts A and B if mutations have left them stale.
+func (b *Bank) ensureAB() {
+	if b.abDirty {
+		b.recountAB()
+	}
+}
+
 // recountAB recomputes A and B from scratch.
 func (b *Bank) recountAB() {
+	b.abDirty = false
 	n := b.InUse()
 	b.b = 0
 	for i := 0; i < n; i++ {
@@ -240,12 +257,9 @@ func (b *Bank) OnMiss(set int) { b.add(b.CounterIndex(set), b.missIncr) }
 // OnHit records a hit in set: the covering counter saturates downward by 1.
 func (b *Bank) OnHit(set int) { b.add(b.CounterIndex(set), -One) }
 
-// add applies a delta to counter idx with saturation, maintaining A and B
-// incrementally exactly as the hardware description does (evaluate the pair
-// condition before and after, adjust the B counter on K-boundary crossings).
+// add applies a delta to counter idx with saturation. A and B are left
+// stale (see abDirty) and recounted at the next resize-boundary read.
 func (b *Bank) add(idx, delta int) {
-	before := b.pairSimilar(idx)
-	wasBelowK := b.counters[idx] < b.kFix
 	v := b.counters[idx] + delta
 	if v < 0 {
 		v = 0
@@ -254,20 +268,7 @@ func (b *Bank) add(idx, delta int) {
 		v = b.maxFix
 	}
 	b.counters[idx] = v
-	if nowBelowK := v < b.kFix; nowBelowK != wasBelowK {
-		if nowBelowK {
-			b.b++
-		} else {
-			b.b--
-		}
-	}
-	if after := b.pairSimilar(idx); after != before {
-		if after {
-			b.a++
-		} else {
-			b.a--
-		}
-	}
+	b.abDirty = true
 }
 
 // Role classifies the set per ASCC: receiver below K, spiller at saturation,
@@ -297,23 +298,15 @@ func (b *Bank) RoleTwoState(set int) Role {
 // SABIP/BIP (true) or traditional MRU (false).
 func (b *Bank) BIPMode(set int) bool { return b.bip[b.CounterIndex(set)] }
 
-// SetBIPMode switches the insertion policy of the group covering set,
-// keeping the A counter consistent (the pair condition involves the policy
-// bits).
+// SetBIPMode switches the insertion policy of the group covering set. The
+// pair condition involves the policy bits, so A is left stale (see abDirty).
 func (b *Bank) SetBIPMode(set int, on bool) {
 	idx := b.CounterIndex(set)
 	if b.bip[idx] == on {
 		return
 	}
-	before := b.pairSimilar(idx)
 	b.bip[idx] = on
-	if after := b.pairSimilar(idx); after != before {
-		if after {
-			b.a++
-		} else {
-			b.a--
-		}
-	}
+	b.abDirty = true
 }
 
 // Resize applies AVGCC's periodic granularity update: if more than half the
@@ -323,6 +316,7 @@ func (b *Bank) SetBIPMode(set int, on bool) {
 // change the live counters are reinitialised to K-1 with MRU insertion.
 // It returns the new D and whether a change happened.
 func (b *Bank) Resize() (d int, changed bool) {
+	b.ensureAB()
 	inUse := b.InUse()
 	if b.b > inUse/2 {
 		// The workload wants finer tracking; never coarsen in this state,

@@ -373,3 +373,62 @@ func TestNewBankValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestLazyABMatchesRecount drives a bank through a randomized interleave of
+// every mutation (hits, misses with a fractional QoS increment, policy-bit
+// flips, granularity changes, resizes) and checks A and B after each step
+// against a brute-force recount from the public per-set state. This pins
+// the deferred A/B maintenance (abDirty): readers must always observe the
+// values incremental bookkeeping would have produced.
+func TestLazyABMatchesRecount(t *testing.T) {
+	const sets, assoc = 16, 4
+	b := NewBankMax(sets, assoc, 2*assoc-1)
+	oracle := func() (a, bb int) {
+		n := b.InUse()
+		step := sets / n // sets per counter
+		for i := 0; i < n; i++ {
+			if b.Value(i*step) < assoc {
+				bb++
+			}
+		}
+		for i := 0; i+1 < n; i += 2 {
+			lo, hi := i*step, (i+1)*step
+			d := b.Value(lo) - b.Value(hi)
+			if d < 0 {
+				d = -d
+			}
+			if d <= 2 && b.BIPMode(lo) == b.BIPMode(hi) {
+				a++
+			}
+		}
+		return a, bb
+	}
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	for step := 0; step < 2000; step++ {
+		set := next(sets)
+		switch next(7) {
+		case 0, 1:
+			b.OnMiss(set)
+		case 2, 3:
+			b.OnHit(set)
+		case 4:
+			b.SetBIPMode(set, next(2) == 1)
+		case 5:
+			b.SetMissIncrement(1 + next(One))
+		case 6:
+			if next(4) == 0 {
+				b.Resize()
+			}
+		}
+		wantA, wantB := oracle()
+		if gotA, gotB := b.A(), b.B(); gotA != wantA || gotB != wantB {
+			t.Fatalf("step %d: A/B = (%d,%d), recount (%d,%d)", step, gotA, gotB, wantA, wantB)
+		}
+	}
+}

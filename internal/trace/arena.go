@@ -271,6 +271,31 @@ func NewArenaCache(maxBytes int64) *ArenaCache {
 	return &ArenaCache{max: maxBytes, entries: map[string]*arenaCacheEntry{}}
 }
 
+// MaxBytes returns the current byte budget (<= 0 means unbounded).
+func (c *ArenaCache) MaxBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.max
+}
+
+// Raise lifts the byte budget to maxBytes when that is more permissive than
+// the current one (maxBytes <= 0, unbounded, wins over any bound). Budgets
+// never shrink: lowering the cap mid-run would evict arenas that concurrent
+// runs sharing the cache are still replaying and extending, throwing away
+// their generation passes and re-paying them on the next Get. Callers that
+// share one cache under different configured budgets therefore operate
+// under the union of their demands.
+func (c *ArenaCache) Raise(maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 {
+		return // already unbounded
+	}
+	if maxBytes <= 0 || maxBytes > c.max {
+		c.max = maxBytes
+	}
+}
+
 // Get returns the arena cached under key, wrapping src into a new one on
 // miss. key must uniquely determine src's stream: two generators producing
 // different streams must never share a key. src is consumed only when the

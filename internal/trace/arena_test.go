@@ -195,6 +195,132 @@ func TestArenaCacheSharingAndEviction(t *testing.T) {
 	}
 }
 
+// TestArenaCacheRaise pins the budget-reconciliation contract used by the
+// harness pool: budgets only ever become more permissive. A lower bound is
+// ignored, a higher bound wins, unbounded wins over any bound and is never
+// revoked.
+func TestArenaCacheRaise(t *testing.T) {
+	c := NewArenaCache(100)
+	c.Raise(50)
+	if got := c.MaxBytes(); got != 100 {
+		t.Fatalf("lower Raise shrank the budget to %d", got)
+	}
+	c.Raise(200)
+	if got := c.MaxBytes(); got != 200 {
+		t.Fatalf("higher Raise gave %d, want 200", got)
+	}
+	c.Raise(0)
+	if got := c.MaxBytes(); got > 0 {
+		t.Fatalf("unbounded Raise gave %d, want <= 0", got)
+	}
+	c.Raise(10)
+	if got := c.MaxBytes(); got > 0 {
+		t.Fatalf("bounded Raise revoked unbounded: %d", got)
+	}
+
+	// The raised budget must be effective, not just reported: under the
+	// original one-chunk budget a second arena evicts the first; after
+	// raising, both stay resident.
+	c2 := NewArenaCache(arenaChunkWords * 8)
+	c2.Get("a", testComposite(1)).Extend(1)
+	c2.Get("b", testComposite(2)).Extend(1)
+	c2.Get("b", testComposite(2))
+	if got := c2.Len(); got != 1 {
+		t.Fatalf("one-chunk budget kept %d arenas, want 1", got)
+	}
+	c2.Raise(4 * arenaChunkWords * 8)
+	c2.Get("a", testComposite(1)).Extend(1)
+	c2.Get("c", testComposite(3)).Extend(1)
+	c2.Get("c", testComposite(3))
+	if got := c2.Len(); got != 3 {
+		t.Fatalf("raised budget kept %d arenas, want 3", got)
+	}
+}
+
+// TestArenaCacheConcurrentExtendAccounting is the byte-budget regression
+// under the racy shape the pool actually produces: replayers extending
+// shared arenas past the cache budget while other goroutines acquire fresh
+// keys (churning evictions), audit the accounting, and issue concurrent
+// Raise calls. Run with -race via make race. The pinned invariants:
+// accounted bytes never go negative, a lower concurrent Raise never shrinks
+// the budget, every replayed stream stays bit-identical to its generator,
+// and once extensions quiesce a single acquisition sweeps the cache back
+// within budget (or down to the one entry being acquired).
+func TestArenaCacheConcurrentExtendAccounting(t *testing.T) {
+	const (
+		budget  = 3 * arenaChunkWords * 8
+		seeds   = 4
+		total   = arenaChunkWords + 512 // two chunks per arena: any two arenas overshoot
+		passes  = 3
+		keyOf   = "extend-key-"
+		batchSz = 997
+	)
+	exp := make([][]Ref, seeds)
+	for s := range exp {
+		exp[s] = make([]Ref, total)
+		testComposite(uint64(s)).NextBatch(exp[s])
+	}
+
+	c := NewArenaCache(budget)
+	done := make(chan struct{})
+	var audit sync.WaitGroup
+	audit.Add(1)
+	go func() {
+		defer audit.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if b := c.Bytes(); b < 0 {
+				t.Errorf("accounted bytes drifted negative: %d", b)
+				return
+			}
+			c.Raise(budget / 2) // lower: must be ignored even mid-churn
+			if got := c.MaxBytes(); got != budget {
+				t.Errorf("concurrent Raise shrank budget to %d", got)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < seeds; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]Ref, batchSz)
+			for pass := 0; pass < passes; pass++ {
+				s := (g + pass) % seeds
+				a := c.Get(keyOf+string(rune('0'+s)), testComposite(uint64(s)))
+				rp := a.NewReplayer()
+				for off := 0; off+batchSz <= total; off += batchSz {
+					rp.NextBatch(buf)
+					for i := range buf {
+						if buf[i] != exp[s][off+i] {
+							t.Errorf("seed %d ref %d diverged under churn", s, off+i)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	audit.Wait()
+
+	// Quiescent: one more acquisition must restore the budget invariant —
+	// the sweep only stops early when the entry being acquired is the last
+	// one standing.
+	c.Get(keyOf+"0", testComposite(0))
+	if b := c.Bytes(); b > budget && c.Len() > 1 {
+		t.Fatalf("post-quiescence acquisition left %d bytes across %d arenas (budget %d)",
+			b, c.Len(), budget)
+	}
+}
+
 // TestArenaCacheUnbounded checks that a non-positive budget never evicts.
 func TestArenaCacheUnbounded(t *testing.T) {
 	c := NewArenaCache(0)

@@ -2,9 +2,11 @@
 # Runs the cache-kernel benchmarks (packed kernel vs the frozen reference
 # kernel in internal/cachesim/refmodel, i.e. the pre-rewrite implementation),
 # the burst-engine A/B (run-to-event stepping vs the frozen per-reference
-# loop in internal/cmp/refstep_test.go) and the end-to-end simulator
+# loop in internal/cmp/refstep_test.go), the batched below-L1 engine A/B
+# (on vs Params.NoL2Batch; add L2BATCH_EXPALL=1 for the full asccbench
+# -exp all wall-clock pairs, ~15 min) and the end-to-end simulator
 # benchmark, then writes BENCH_kernel.json with the headline numbers.
-# Usage: scripts/bench_kernel.sh [output.json]
+# Usage: [L2BATCH_EXPALL=1] scripts/bench_kernel.sh [output.json]
 set -eu
 
 out=${1:-BENCH_kernel.json}
@@ -31,6 +33,57 @@ for round in 1 2 3 4 5; do
 	$go test ./internal/cmp -run '^$' -bench 'BenchmarkPhase(Burst|RefStep)$' \
 		-benchtime 5x | tee -a "$tmp/burst.txt"
 done
+
+echo "== l2batch: batched below-L1 engine on vs off (internal/cmp) =="
+# Same interleaved-pair discipline for the batched below-L1 engine
+# (DESIGN.md 12): the burst engine with the batched miss path against the
+# identical engine with Params.NoL2Batch set. Results are bit-identical;
+# only the stepping of the below-L1 work differs.
+: >"$tmp/l2batch.txt"
+for round in 1 2 3 4 5; do
+	$go test ./internal/cmp -run '^$' -bench 'BenchmarkPhase(Burst|NoBatch)$' \
+		-benchtime 5x | tee -a "$tmp/l2batch.txt"
+done
+
+# Optional end-to-end wall-clock A/B over the full experiment sweep: five
+# interleaved `asccbench -exp all` pairs with -l2-batch on/off. Costs about
+# 15 minutes, so it only runs under L2BATCH_EXPALL=1; the committed
+# BENCH_kernel.json was generated with it enabled.
+if [ "${L2BATCH_EXPALL:-0}" = "1" ]; then
+	echo "== l2batch: asccbench -exp all wall-clock pairs (L2BATCH_EXPALL=1) =="
+	$go build -o "$tmp/asccbench" ./cmd/asccbench
+	: >"$tmp/expall.txt"
+	for round in 1 2 3 4 5; do
+		for side in on off; do
+			flag=true
+			[ "$side" = off ] && flag=false
+			t0=$(date +%s.%N)
+			"$tmp/asccbench" -exp all -l2-batch=$flag >/dev/null
+			t1=$(date +%s.%N)
+			awk -v s="$side" -v a="$t0" -v b="$t1" \
+				'BEGIN { printf "%s %.3f\n", s, b - a }' | tee -a "$tmp/expall.txt"
+		done
+	done
+	awk '
+	function median(a, n,    i, j, t) {
+		for (i = 2; i <= n; i++) {
+			t = a[i]
+			for (j = i - 1; j >= 1 && a[j] > t; j--) a[j+1] = a[j]
+			a[j+1] = t
+		}
+		if (n % 2) return a[(n+1)/2]
+		return (a[n/2] + a[n/2+1]) / 2
+	}
+	$1 == "on"  { on[++no] = $2 }
+	$1 == "off" { off[++nf] = $2 }
+	END {
+		o = median(on, no); f = median(off, nf)
+		printf "\"expall_pairs\": %d\n", no
+		printf "\"expall_batched_s\": %.3f\n", o
+		printf "\"expall_unbatched_s\": %.3f\n", f
+		printf "\"expall_speedup_vs_unbatched\": %.3f\n", f / o
+	}' "$tmp/expall.txt" >"$tmp/expall.medians"
+fi
 
 echo "== end-to-end: 4-core AVGCC simulation (BenchmarkSimulatorThroughput) =="
 $go test . -run '^$' -bench 'BenchmarkSimulatorThroughput' \
@@ -105,6 +158,30 @@ END {
 	printf "  },\n"
 }' "$tmp/burst.txt" >"$tmp/burst.json"
 
+awk -v expall="$tmp/expall.medians" '
+function median(a, n,    i, j, t) {
+	for (i = 2; i <= n; i++) {
+		t = a[i]
+		for (j = i - 1; j >= 1 && a[j] > t; j--) a[j+1] = a[j]
+		a[j+1] = t
+	}
+	if (n % 2) return a[(n+1)/2]
+	return (a[n/2] + a[n/2+1]) / 2
+}
+/BenchmarkPhaseBurst/   { bns[++nb] = $3 }
+/BenchmarkPhaseNoBatch/ { uns[++nu] = $3 }
+END {
+	b = median(bns, nb); u = median(uns, nu)
+	printf "  \"l2batch\": {\n"
+	printf "    \"workload\": \"4-core AVGCC phase stepping, 1M instructions per core, batched below-L1 engine vs Params.NoL2Batch\",\n"
+	printf "    \"rounds\": %d,\n", nb
+	printf "    \"batched_ns_per_run\": %d,\n", b
+	printf "    \"unbatched_ns_per_run\": %d,\n", u
+	printf "    \"speedup_vs_unbatched\": %.3f", u / b
+	while ((getline line < expall) > 0) printf ",\n    %s", line
+	printf "\n  },\n"
+}' "$tmp/l2batch.txt" >"$tmp/l2batch.json"
+
 awk '
 /BenchmarkSimulatorThroughput/ {
 	ns=$3
@@ -128,7 +205,7 @@ END {
 	echo '{'
 	echo '  "note": "generated by scripts/bench_kernel.sh (make bench-baseline); ref is the pre-rewrite kernel, kept verbatim as internal/cachesim/refmodel",'
 	printf '  "go": "%s",\n' "$($go env GOVERSION)"
-	cat "$tmp/kernel.json" "$tmp/stream.json" "$tmp/burst.json" "$tmp/e2e.json"
+	cat "$tmp/kernel.json" "$tmp/stream.json" "$tmp/burst.json" "$tmp/l2batch.json" "$tmp/e2e.json"
 	echo '}'
 } >"$out"
 
