@@ -6,7 +6,10 @@
 #   make race           - race-detector pass over the concurrent packages
 #   make fuzz           - bounded run of the differential fuzzers (packed
 #                         kernel vs reference model, ganged group vs
-#                         independent caches, trace arena codec round-trip)
+#                         independent caches, directory vs broadcast vs
+#                         refmodel, trace arena codec round-trip)
+#   make cover          - aggregate internal/... statement coverage with a
+#                         hard floor (scripts/cover.sh)
 #   make bench          - microbenchmarks for the hot simulator paths
 #   make profile        - CPU + heap profile of a representative run
 #   make bench-baseline - kernel + end-to-end throughput, recorded in
@@ -15,7 +18,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz bench bench-baseline profile clean
+.PHONY: check build vet fmt test race fuzz cover bench bench-baseline profile clean
 
 check: build vet fmt test race fuzz
 
@@ -34,11 +37,11 @@ fmt:
 test:
 	$(GO) test ./...
 
-# The harness worker pool, the experiment fan-outs and the shared trace
-# arenas are the only concurrent code; -race over just those keeps the gate
-# fast.
+# The harness worker pool, the experiment fan-outs, the shared trace arenas
+# and the speculative in-run engine (cmp) are the concurrent code; -race
+# over just those keeps the gate fast.
 race:
-	$(GO) test -race ./internal/trace/... ./internal/harness/... ./internal/experiments/...
+	$(GO) test -race ./internal/trace/... ./internal/harness/... ./internal/experiments/... ./internal/cmp/...
 
 # Differential smoke: the packed kernel against the reference model, and the
 # ganged tag slab against independent caches, each under ten seconds of
@@ -50,6 +53,12 @@ fuzz:
 	$(GO) test ./internal/cachesim -run '^$$' -fuzz FuzzGroupProbe -fuzztime 10s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzRefCodec -fuzztime 10s
 	$(GO) test ./internal/cmp -run '^$$' -fuzz FuzzBurstEquivalence -fuzztime 10s
+	$(GO) test ./internal/cmp -run '^$$' -fuzz FuzzDirectoryEquivalence -fuzztime 10s
+
+# Aggregate statement coverage over internal/... with a floor that pins the
+# baseline; a PR landing untested simulator code fails here.
+cover:
+	GO="$(GO)" sh scripts/cover.sh
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/cachesim ./internal/cmp ./internal/trace

@@ -155,6 +155,11 @@ func FourAppMixes() [][]int { return workload.FourAppMixes() }
 // MixName formats a mix the way the paper writes it ("445+401+444+456").
 func MixName(mix []int) string { return workload.MixName(mix) }
 
+// ExtendMix widens a mix to cores slots by cyclic replication — the same
+// widening Config.Cores applies inside the runner. A no-op when cores does
+// not exceed the mix length.
+func ExtendMix(mix []int, cores int) []int { return workload.ExtendMix(mix, cores) }
+
 // WeightedSpeedup computes sum(IPC_i/IPCalone_i) — the paper's performance
 // metric (Snavely & Tullsen).
 func WeightedSpeedup(cpis, aloneCPIs []float64) float64 {

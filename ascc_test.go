@@ -96,6 +96,12 @@ func TestBenchmarksAPI(t *testing.T) {
 	if ascc.MixName([]int{445, 456}) != "445+456" {
 		t.Fatal("MixName wrong")
 	}
+	if got := ascc.ExtendMix([]int{445, 456}, 5); ascc.MixName(got) != "445+456+445+456+445" {
+		t.Fatalf("ExtendMix to 5 = %s", ascc.MixName(got))
+	}
+	if got := ascc.ExtendMix([]int{445, 456}, 0); len(got) != 2 {
+		t.Fatalf("ExtendMix no-op widened to %d", len(got))
+	}
 }
 
 func TestMetricsAPI(t *testing.T) {
@@ -124,8 +130,8 @@ func TestStorageCostAPI(t *testing.T) {
 
 func TestExperimentIDsResolve(t *testing.T) {
 	ids := ascc.ExperimentIDs()
-	if len(ids) != 19 {
-		t.Fatalf("%d experiment ids, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("%d experiment ids, want 20", len(ids))
 	}
 	if _, err := ascc.RunExperiment(tinyConfig(), "nope"); err == nil {
 		t.Fatal("unknown experiment accepted")

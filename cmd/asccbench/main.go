@@ -48,6 +48,9 @@ type options struct {
 	traceCache bool
 	traceMB    int
 	l2Batch    bool
+	cores      int
+	simPar     int
+	directory  bool
 	timing     bool
 	cpuprofile string
 	memprofile string
@@ -91,6 +94,21 @@ func (o options) validate() error {
 	if o.policySet && o.mix == "" && o.traces == "" {
 		return fmt.Errorf("-policy only applies to -mix and -trace runs (experiments compare the registry policies themselves)")
 	}
+	if o.cores < 0 {
+		return fmt.Errorf("-cores must be >= 0 (got %d; 0 keeps each mix's natural width)", o.cores)
+	}
+	if o.cores > 64 {
+		return fmt.Errorf("-cores must be <= 64 (got %d; coherence holder masks are one 64-bit word)", o.cores)
+	}
+	if o.cores > 0 && o.traces != "" {
+		return fmt.Errorf("-cores does not apply to -trace replays (supply one trace file per core instead)")
+	}
+	if o.simPar < 0 {
+		return fmt.Errorf("-sim-parallel must be >= 0 (got %d; 0 and 1 run each simulation serially)", o.simPar)
+	}
+	if o.simPar > 1 && !o.l2Batch {
+		return fmt.Errorf("-sim-parallel %d requires the batched engine (conflicts with -l2-batch=false)", o.simPar)
+	}
 	return nil
 }
 
@@ -103,6 +121,9 @@ func (o options) config() ascc.Config {
 	cfg.TraceCache = o.traceCache
 	cfg.TraceCacheMB = o.traceMB
 	cfg.NoL2Batch = !o.l2Batch
+	cfg.Cores = o.cores
+	cfg.SimParallel = o.simPar
+	cfg.NoDirectory = !o.directory
 	if o.scale != 8 {
 		// Scale the default budgets so reuse cycles complete (DESIGN.md §5).
 		cfg.WarmupInstr = cfg.WarmupInstr * 8 / uint64(o.scale)
@@ -134,6 +155,9 @@ func main() {
 	flag.BoolVar(&o.traceCache, "trace-cache", true, "memoise each workload reference stream in a packed arena and replay it across policies (results are identical either way)")
 	flag.IntVar(&o.traceMB, "trace-cache-mb", 0, "trace cache memory budget in MiB before LRU eviction (0 = default budget; requires -trace-cache)")
 	flag.BoolVar(&o.l2Batch, "l2-batch", true, "resolve each turn's L2 misses through the batched below-L1 engine (results are bit-identical either way; -l2-batch=false is the per-reference A/B reference)")
+	flag.IntVar(&o.cores, "cores", 0, "widen every mix to this many cores by cyclic replication, max 64 (0 = each mix's natural width; single-app calibrations stay one-core)")
+	flag.IntVar(&o.simPar, "sim-parallel", 0, "speculative worker goroutines inside each simulation (0 or 1 = serial; results are bit-identical at every setting)")
+	flag.BoolVar(&o.directory, "directory", true, "answer coherence holder-mask queries from the set-sharded directory (results are bit-identical either way; -directory=false is the broadcast row-scan A/B reference)")
 	flag.BoolVar(&o.timing, "timing", false, "print wall-clock after each experiment table or ad-hoc run (to stderr under -format csv/json so the stream stays parseable)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken at exit to this file")
@@ -325,6 +349,9 @@ func runMix(cfg ascc.Config, mixSpec, policy string) error {
 	if err != nil {
 		return err
 	}
+	// The runner widens every run the same way; widen here too so the
+	// per-core report below lines up with the widened Results.
+	mixIDs = ascc.ExtendMix(mixIDs, cfg.Cores)
 	runner := ascc.NewRunner(cfg)
 	// The runner memoises registry runs, so when -policy is "baseline" the
 	// comparison below reuses the base simulation instead of repeating it,

@@ -8,7 +8,7 @@ import (
 
 // base returns the options the flag defaults produce.
 func base() options {
-	return options{scale: 8, seeds: 1, policy: "AVGCC", format: "text", traceCache: true, l2Batch: true}
+	return options{scale: 8, seeds: 1, policy: "AVGCC", format: "text", traceCache: true, l2Batch: true, directory: true}
 }
 
 func TestValidate(t *testing.T) {
@@ -44,6 +44,17 @@ func TestValidate(t *testing.T) {
 		{"timing with exp", func(o *options) { o.exp = "fig8"; o.timing = true }, ""},
 		{"timing with mix", func(o *options) { o.mix = "445+456"; o.timing = true }, ""},
 		{"timing with csv exp", func(o *options) { o.exp = "fig8"; o.format = "csv"; o.timing = true }, ""},
+		{"cores with exp ok", func(o *options) { o.exp = "all"; o.cores = 64 }, ""},
+		{"cores with mix ok", func(o *options) { o.mix = "445+456"; o.cores = 16 }, ""},
+		{"cores negative", func(o *options) { o.exp = "fig8"; o.cores = -4 }, "-cores"},
+		{"cores over mask", func(o *options) { o.exp = "fig8"; o.cores = 65 }, "-cores"},
+		{"cores with trace", func(o *options) { o.traces = "a.trc"; o.cores = 8 }, "-cores"},
+		{"sim-parallel ok", func(o *options) { o.exp = "all"; o.simPar = 4 }, ""},
+		{"sim-parallel one ok", func(o *options) { o.exp = "fig8"; o.simPar = 1 }, ""},
+		{"sim-parallel negative", func(o *options) { o.exp = "fig8"; o.simPar = -1 }, "-sim-parallel"},
+		{"sim-parallel without batch", func(o *options) { o.exp = "fig8"; o.simPar = 4; o.l2Batch = false }, "-sim-parallel"},
+		{"directory off ok", func(o *options) { o.exp = "all"; o.directory = false }, ""},
+		{"directory off with mix ok", func(o *options) { o.mix = "445+456"; o.directory = false }, ""},
 	}
 	for _, tc := range cases {
 		o := base()
@@ -100,6 +111,27 @@ func TestConfigL2Batch(t *testing.T) {
 	o.l2Batch = false
 	if !o.config().NoL2Batch {
 		t.Fatal("-l2-batch=false did not propagate to the config")
+	}
+}
+
+// TestConfigScaleout pins the -cores/-sim-parallel/-directory plumbing into
+// the harness configuration.
+func TestConfigScaleout(t *testing.T) {
+	cfg := base().config()
+	if cfg.Cores != 0 || cfg.SimParallel != 0 || cfg.NoDirectory {
+		t.Fatalf("defaults not neutral: %+v", cfg)
+	}
+	o := base()
+	o.cores, o.simPar, o.directory = 64, 4, false
+	cfg = o.config()
+	if cfg.Cores != 64 {
+		t.Fatalf("-cores not propagated: %d", cfg.Cores)
+	}
+	if cfg.SimParallel != 4 {
+		t.Fatalf("-sim-parallel not propagated: %d", cfg.SimParallel)
+	}
+	if !cfg.NoDirectory {
+		t.Fatal("-directory=false did not propagate to the config")
 	}
 }
 

@@ -13,28 +13,40 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ascc/internal/cost"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "costcalc:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and writes the analysis to stdout; main stays a thin
+// exit-code wrapper so tests can pin the output.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("costcalc", flag.ContinueOnError)
 	var (
-		size        = flag.Int("size", 1<<20, "cache size in bytes")
-		ways        = flag.Int("ways", 8, "associativity")
-		line        = flag.Int("line", 32, "line size in bytes")
-		addr        = flag.Int("addr", 42, "physical address bits")
-		maxCounters = flag.Int("maxcounters", 0, "limit AVGCC counters (0 = one per set)")
+		size        = fs.Int("size", 1<<20, "cache size in bytes")
+		ways        = fs.Int("ways", 8, "associativity")
+		line        = fs.Int("line", 32, "line size in bytes")
+		addr        = fs.Int("addr", 42, "physical address bits")
+		maxCounters = fs.Int("maxcounters", 0, "limit AVGCC counters (0 = one per set)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	g := cost.CacheGeometry{SizeBytes: *size, Ways: *ways, LineBytes: *line, AddressBits: *addr}
 	if g.Sets() <= 0 || g.Sets()&(g.Sets()-1) != 0 {
-		fmt.Fprintf(os.Stderr, "costcalc: geometry yields %d sets (need a power of two)\n", g.Sets())
-		os.Exit(1)
+		return fmt.Errorf("geometry yields %d sets (need a power of two)", g.Sets())
 	}
 
-	fmt.Printf("baseline: %d sets, %d lines, %d-bit tag entries, %.0f kB tags + %d kB data = %.0f kB\n\n",
+	fmt.Fprintf(stdout, "baseline: %d sets, %d lines, %d-bit tag entries, %.0f kB tags + %d kB data = %.0f kB\n\n",
 		g.Sets(), g.Lines(), g.TagEntryBits(),
 		float64(g.TagStoreBits())/8/1024, g.SizeBytes/1024,
 		float64(g.BaselineTotalBits())/8/1024)
@@ -48,6 +60,7 @@ func main() {
 		{"QoS-AVGCC", cost.QoSAVGCCReport(g)},
 		{"DSR", cost.DSRReport(g)},
 	} {
-		fmt.Printf("--- %s ---\n%s\n", rep.name, rep.r)
+		fmt.Fprintf(stdout, "--- %s ---\n%s\n", rep.name, rep.r)
 	}
+	return nil
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunDefaultGeometry pins the stdout of a bare `costcalc` run: the
+// baseline geometry line and the four report sections, plus the paper's
+// headline 20508-bit AVGCC overhead (Table 5).
+func TestRunDefaultGeometry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "baseline: 4096 sets, 32768 lines, 30-bit tag entries, 120 kB tags + 1024 kB data = 1144 kB\n") {
+		t.Errorf("baseline line drifted:\n%s", out[:min(len(out), 120)])
+	}
+	for _, section := range []string{"--- ASCC ---", "--- AVGCC ---", "--- QoS-AVGCC ---", "--- DSR ---"} {
+		if !strings.Contains(out, section) {
+			t.Errorf("missing section %q", section)
+		}
+	}
+	if !strings.Contains(out, "total overhead: 20508 bits (2563.5 B), 0.22% of the baseline") {
+		t.Errorf("AVGCC Table-5 overhead line missing:\n%s", out)
+	}
+}
+
+// TestRunFlagsChangeGeometry checks the flags reach the geometry: a 4MB
+// 16-way cache has 8192 sets.
+func TestRunFlagsChangeGeometry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-size", "4194304", "-ways", "16"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "baseline: 8192 sets,") {
+		t.Errorf("geometry flags not honoured:\n%s", buf.String()[:min(buf.Len(), 120)])
+	}
+}
+
+// TestRunRejectsBadGeometry checks non-power-of-two set counts and bad
+// flags error instead of printing garbage.
+func TestRunRejectsBadGeometry(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-size", "1000000"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Errorf("non-power-of-two sets accepted: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("error path still wrote %d bytes of output", buf.Len())
+	}
+	if err := run([]string{"-ways", "notanumber"}, &buf); err == nil {
+		t.Error("bad flag value accepted")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ascc"
@@ -19,32 +20,43 @@ import (
 )
 
 func main() {
-	var (
-		bench  = flag.Int("bench", 433, "SPEC benchmark number (Table 3)")
-		n      = flag.Uint64("n", 1000, "references to emit")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		scale  = flag.Int("scale", 8, "geometry scale divisor")
-		base   = flag.Uint64("base", 0, "base address offset (give each core's trace a disjoint region, e.g. 1<<36)")
-		format = flag.String("format", "csv", "output format: csv or bin (the compact binary trace format)")
-		out    = flag.String("o", "", "output file (default stdout)")
-	)
-	flag.Parse()
-
-	p, err := ascc.BenchmarkByID(*bench)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+}
+
+// run parses args and writes the trace to stdout or -o; main stays a thin
+// exit-code wrapper so tests can pin the output.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		bench  = fs.Int("bench", 433, "SPEC benchmark number (Table 3)")
+		n      = fs.Uint64("n", 1000, "references to emit")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		scale  = fs.Int("scale", 8, "geometry scale divisor")
+		base   = fs.Uint64("base", 0, "base address offset (give each core's trace a disjoint region, e.g. 1<<36)")
+		format = fs.String("format", "csv", "output format: csv or bin (the compact binary trace format)")
+		out    = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := ascc.BenchmarkByID(*bench)
+	if err != nil {
+		return err
+	}
 	gen := p.NewGenerator(*seed, *base, *scale)
 
-	var dst *os.File = os.Stdout
+	dst := io.Writer(stdout)
 	if *out != "" {
-		dst, err = os.Create(*out)
+		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			return err
 		}
-		defer dst.Close()
+		defer f.Close()
+		dst = f
 	}
 
 	switch *format {
@@ -52,17 +64,12 @@ func main() {
 		tw := trace.NewWriter(dst)
 		for i := uint64(0); i < *n; i++ {
 			if err := tw.Write(gen.Next()); err != nil {
-				fmt.Fprintln(os.Stderr, "tracegen:", err)
-				os.Exit(1)
+				return err
 			}
 		}
-		if err := tw.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
-		}
+		return tw.Flush()
 	case "csv":
 		w := bufio.NewWriter(dst)
-		defer w.Flush()
 		fmt.Fprintf(w, "# %s (%d): %s, %.0f refs/kinstr\n", p.Name, p.ID, p.Category, p.RefsPerKInstr)
 		fmt.Fprintln(w, "addr,write,gap")
 		for i := uint64(0); i < *n; i++ {
@@ -73,8 +80,8 @@ func main() {
 			}
 			fmt.Fprintf(w, "%#x,%d,%d\n", ref.Addr, wr, ref.Gap)
 		}
+		return w.Flush()
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q (want csv or bin)\n", *format)
-		os.Exit(1)
+		return fmt.Errorf("unknown format %q (want csv or bin)", *format)
 	}
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ascc/internal/trace"
+)
+
+// TestRunCSVGolden pins the CSV output of a small deterministic run: the
+// model header, the column header and the exact first references of milc's
+// stream at seed 1 (the flag default).
+func TestRunCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bench", "433", "-n", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# milc (433): streaming, 180 refs/kinstr
+addr,write,gap
+0x4000140,0,4
+0x4000260,1,5
+0x0,0,4
+0x5000000,0,5
+0x4000220,0,4
+`
+	if buf.String() != want {
+		t.Errorf("CSV output drifted:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// TestRunBinaryRoundTrip writes a binary trace to -o and reads it back:
+// the records must match the CSV rendering of the same generator state.
+func TestRunBinaryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.trc")
+	var buf bytes.Buffer
+	if err := run([]string{"-bench", "456", "-n", "64", "-seed", "9", "-format", "bin", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("-o run still wrote %d bytes to stdout", buf.Len())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	refs, err := trace.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 64 {
+		t.Fatalf("%d records, want 64", len(refs))
+	}
+	// Same bench/seed/count via CSV must describe the same references.
+	var csv bytes.Buffer
+	if err := run([]string{"-bench", "456", "-n", "64", "-seed", "9"}, &csv); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := trace.ReadCSV(&csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refs {
+		if refs[i] != parsed[i] {
+			t.Fatalf("record %d differs between bin (%+v) and csv (%+v)", i, refs[i], parsed[i])
+		}
+	}
+}
+
+// TestRunErrors covers the rejection paths: unknown benchmark, unknown
+// format, bad flag value.
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown bench", []string{"-bench", "999"}, "benchmark"},
+		{"unknown format", []string{"-format", "xml"}, "unknown format"},
+		{"bad flag", []string{"-n", "minusfive"}, "invalid"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

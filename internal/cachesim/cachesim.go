@@ -213,6 +213,16 @@ type Cache struct {
 	// stacks, stack[0] = MRU way. nil when the packed kernel is active.
 	wide [][]int
 
+	// shared marks a cache whose slabs are slices of a caller-owned (ganged)
+	// slab rather than private allocations.
+	shared bool
+
+	// dir, when non-nil, is the owning group's coherence directory; every
+	// residency change (insert, overwrite, invalidate) updates the block's
+	// holder entry for member dirIdx. See directory.go.
+	dir    *Directory
+	dirIdx int
+
 	// Totals() counters carried over from before the last ResetSetStats;
 	// lifetime totals are base + the sum over meta.
 	baseAccesses uint64
@@ -257,11 +267,13 @@ func newCache(cfg Config, stride int, tags []uint64, lines []Line) *Cache {
 	if stride < physWays {
 		panic(fmt.Sprintf("cachesim: stride %d < %d physical ways", stride, physWays))
 	}
+	shared := tags != nil
 	if tags == nil {
 		tags = make([]uint64, numSets*stride)
 		lines = make([]Line, numSets*stride)
 	}
 	c := &Cache{
+		shared:  shared,
 		cfg:     cfg,
 		setMask: uint64(numSets - 1),
 		ways:    enabled,
@@ -521,6 +533,9 @@ func (c *Cache) Insert(block uint64, pos InsertPos, proto Line) (evicted Line) {
 		if proto.State == Invalid {
 			m.valid &^= 1 << uint(w)
 		}
+		if c.dir != nil {
+			c.dirReplace(evicted, block, proto.State != Invalid)
+		}
 		switch pos {
 		case InsertMRU:
 			m.order = (o<<4|uint64(w))&c.usedMask | c.unusedMask
@@ -555,8 +570,28 @@ func (c *Cache) insertAt(si, w int, block uint64, pos InsertPos, proto Line) (ev
 			c.meta[si].valid &^= 1 << uint(w)
 		}
 	}
+	if c.dir != nil {
+		c.dirReplace(evicted, block, proto.State != Invalid)
+	}
 	c.place(si, w, pos)
 	return evicted
+}
+
+// dirReplace is the directory maintenance hook shared by Insert's fused
+// full-set path and insertAt: the line previously at the target way (evicted)
+// has just been overwritten by block, whose new validity is newValid, and the
+// tag/valid mirrors are already updated. A displaced block only loses its
+// holder bit if no other way of this member still holds it (duplicate tags in
+// one set arise only under fuzzer-driven op sequences, but must stay exact).
+func (c *Cache) dirReplace(evicted Line, block uint64, newValid bool) {
+	if evicted.Valid() && (evicted.Tag != block || !newValid) {
+		if _, ok := c.Lookup(evicted.Tag); !ok {
+			c.dir.remove(evicted.Tag, c.dirIdx)
+		}
+	}
+	if newValid {
+		c.dir.add(block, c.dirIdx)
+	}
 }
 
 // place moves way w to the requested recency position.
@@ -721,8 +756,41 @@ func (c *Cache) Invalidate(block uint64) (Line, bool) {
 	if c.wide == nil {
 		c.meta[si].valid &^= 1 << uint(w)
 	}
+	if c.dir != nil {
+		if _, ok := c.Lookup(block); !ok {
+			c.dir.remove(block, c.dirIdx)
+		}
+	}
 	c.place(si, w, InsertLRU)
 	return old, true
+}
+
+// CopyStateFrom overwrites c's entire observable state — tags, lines,
+// recency orders, valid masks, statistics — with src's, without allocating.
+// Both caches must have identical geometry and privately owned slabs (group
+// members share a ganged slab and cannot be bulk-copied), and c must not be
+// directory-tracked. The speculative burst engine in internal/cmp uses this
+// to refresh a worker's private L1 clone from the live cache each turn.
+func (c *Cache) CopyStateFrom(src *Cache) {
+	if c.cfg != src.cfg || c.stride != src.stride {
+		panic("cachesim: CopyStateFrom geometry mismatch")
+	}
+	if c.shared || src.shared {
+		panic("cachesim: CopyStateFrom on a ganged-slab cache")
+	}
+	if c.dir != nil {
+		panic("cachesim: CopyStateFrom into a directory-tracked cache")
+	}
+	copy(c.tags, src.tags)
+	copy(c.lines, src.lines)
+	copy(c.meta, src.meta)
+	c.baseAccesses = src.baseAccesses
+	c.baseMisses = src.baseMisses
+	if c.wide != nil {
+		for i := range c.wide {
+			copy(c.wide[i], src.wide[i])
+		}
+	}
 }
 
 // RecencyStack returns a copy of the set's recency stack, MRU first.

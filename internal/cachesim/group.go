@@ -32,6 +32,15 @@ type CacheGroup struct {
 	setMask   uint64
 	tags      []uint64
 	fused     bool
+
+	// dir, when non-nil, answers every holder-mask question from the
+	// set-sharded directory (directory.go) instead of a row scan; the members
+	// keep it current through their residency hooks. probes counts coherence
+	// queries (holder mask, probe, demand-miss peer scan, invalidate-others)
+	// at the same call sites in both modes, so directory and broadcast runs
+	// of one workload report identical probe counts.
+	dir    *Directory
+	probes uint64
 }
 
 // groupRowStride pads the slab stride between consecutive ganged rows to an
@@ -51,8 +60,10 @@ func groupRowStride(rowWays int) int {
 // NewGroup builds n ganged caches of identical geometry. It panics on
 // invalid geometry or n <= 0 (construction happens at configuration time).
 func NewGroup(n int, cfg Config) *CacheGroup {
-	if n <= 0 {
-		panic(fmt.Sprintf("cachesim: group of %d caches", n))
+	if n <= 0 || n > 64 {
+		// Holder sets are uint64 bitmasks throughout the coherence engine;
+		// past 64 members they would silently truncate.
+		panic(fmt.Sprintf("cachesim: group of %d caches (must be 1..64)", n))
 	}
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -86,11 +97,51 @@ func (g *CacheGroup) Size() int { return len(g.members) }
 // Cache returns member i.
 func (g *CacheGroup) Cache(i int) *Cache { return g.members[i] }
 
+// EnableDirectory switches the group's coherence queries from broadcast row
+// scans to the set-sharded directory: existing contents are indexed, and
+// from here on every member insert/invalidate keeps the holder entries
+// current. Idempotent; answers are bit-identical to broadcast mode.
+func (g *CacheGroup) EnableDirectory() {
+	if g.dir != nil {
+		return
+	}
+	d := newDirectory(int(g.setMask)+1, g.rowWays)
+	for i, c := range g.members {
+		c.dir = d
+		c.dirIdx = i
+		c.ForEachLine(func(_, _ int, l *Line) { d.add(l.Tag, i) })
+	}
+	g.dir = d
+}
+
+// DirectoryEnabled reports whether holder queries are directory-backed.
+func (g *CacheGroup) DirectoryEnabled() bool { return g.dir != nil }
+
+// Probes returns the number of coherence queries answered since construction
+// (or the last ResetProbes). The counter is maintained at identical call
+// sites in directory and broadcast mode.
+func (g *CacheGroup) Probes() uint64 { return g.probes }
+
+// ResetProbes zeroes the coherence probe counter.
+func (g *CacheGroup) ResetProbes() { g.probes = 0 }
+
 // HolderMask returns a bitmask of the members currently holding block (bit i
-// set iff member i has a valid copy). On the fused path this is one scan of
-// the block's ganged tag row plus a per-member AND against the valid words;
-// stale tags left behind by invalidations can never be counted.
+// set iff member i has a valid copy). With the directory enabled this is one
+// bounded hash lookup in the block's set shard; on the fused broadcast path
+// it is one scan of the block's ganged tag row plus a per-member AND against
+// the valid words. Stale tags left behind by invalidations can never be
+// counted in either mode.
 func (g *CacheGroup) HolderMask(block uint64) uint64 {
+	g.probes++
+	return g.holderMask(block)
+}
+
+// holderMask is HolderMask without the probe accounting, for callers that
+// already counted the query.
+func (g *CacheGroup) holderMask(block uint64) uint64 {
+	if g.dir != nil {
+		return g.dir.holders(block)
+	}
 	if !g.fused {
 		var m uint64
 		for i, c := range g.members {
@@ -146,9 +197,21 @@ func (p GroupProbe) LastCopyFor(except int) bool {
 
 // Probe answers one block's holder mask and first-holder way without
 // touching any member state — HolderMask and the subsequent holder Lookup
-// fused into the same row scan. The prefetch filter ("is this block on chip
-// anywhere?") and the batch entry point below are built on it.
+// fused into the same row scan (or, with the directory, one hash lookup plus
+// a single Lookup inside the lowest-index holder). The prefetch filter ("is
+// this block on chip anywhere?") and the batch entry point below are built
+// on it.
 func (g *CacheGroup) Probe(block uint64) GroupProbe {
+	g.probes++
+	if g.dir != nil {
+		pr := GroupProbe{Holders: g.dir.holders(block), Way: -1}
+		if pr.Holders != 0 {
+			if w, ok := g.members[bits.TrailingZeros64(pr.Holders)].Lookup(block); ok {
+				pr.Way = int8(w)
+			}
+		}
+		return pr
+	}
 	if !g.fused {
 		pr := GroupProbe{Way: -1}
 		for i, c := range g.members {
@@ -208,11 +271,27 @@ func (g *CacheGroup) ProbeBatch(blocks []uint64, out []GroupProbe) {
 // Lookup triple of the unbatched miss path with one pass over one row.
 func (g *CacheGroup) DemandAccess(c int, block uint64) (way int, hit bool, holders uint64, hway int) {
 	cache := g.members[c]
+	if g.dir != nil {
+		way, hit = cache.Access(block)
+		if hit {
+			return way, true, 0, -1
+		}
+		g.probes++
+		holders = g.dir.holders(block) &^ (1 << uint(c))
+		hway = -1
+		if holders != 0 {
+			if w, ok := g.members[bits.TrailingZeros64(holders)].Lookup(block); ok {
+				hway = w
+			}
+		}
+		return -1, false, holders, hway
+	}
 	if !g.fused || cache.wide != nil {
 		way, hit = cache.Access(block)
 		if hit {
 			return way, true, 0, -1
 		}
+		g.probes++
 		hway = -1
 		for i, m := range g.members {
 			if i == c {
@@ -258,6 +337,7 @@ func (g *CacheGroup) DemandAccess(c int, block uint64) (way int, hit bool, holde
 		return w, true, 0, -1
 	}
 	m.misses++
+	g.probes++
 	hway = -1
 	for r, pw := 0, g.pw; r < len(g.members); r++ {
 		if r == c {
@@ -276,10 +356,12 @@ func (g *CacheGroup) DemandAccess(c int, block uint64) (way int, hit bool, holde
 
 // InvalidateOthers removes block from every member except `except` and
 // returns the mask of members that held it — the MESI write-upgrade
-// primitive. One fused scan finds the holders; only those members then run
-// their (set-local) invalidation.
+// primitive. One fused scan (or directory lookup) finds the holders; only
+// those members then run their (set-local) invalidation, so the chain costs
+// O(holders) regardless of group size.
 func (g *CacheGroup) InvalidateOthers(block uint64, except int) uint64 {
-	held := g.HolderMask(block) &^ (1 << uint(except))
+	g.probes++
+	held := g.holderMask(block) &^ (1 << uint(except))
 	for m := held; m != 0; m &= m - 1 {
 		g.members[bits.TrailingZeros64(m)].Invalidate(block)
 	}

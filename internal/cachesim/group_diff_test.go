@@ -32,6 +32,7 @@ var groupConfigs = []struct {
 	{8, cachesim.Config{SizeBytes: 2 * 8 * 64, Ways: 8, LineBytes: 64}},   // fused-width boundary
 	{5, cachesim.Config{SizeBytes: 2 * 16 * 64, Ways: 16, LineBytes: 64}}, // 80 > 64: fallback path
 	{3, cachesim.Config{SizeBytes: 4 * 8 * 64, Ways: 8, LineBytes: 64, EnabledWays: 5}},
+	{16, cachesim.Config{SizeBytes: 2 * 8 * 64, Ways: 8, LineBytes: 64}}, // many-core: >64 row ways
 }
 
 // groupPair drives a CacheGroup and n independent caches in lockstep.
@@ -45,8 +46,11 @@ type groupPair struct {
 	ss    []int
 }
 
-func newGroupPair(t *testing.T, n int, cfg cachesim.Config) *groupPair {
+func newGroupPair(t *testing.T, n int, cfg cachesim.Config, directory bool) *groupPair {
 	g := cachesim.NewGroup(n, cfg)
+	if directory {
+		g.EnableDirectory()
+	}
 	solo := make([]*cachesim.Cache, n)
 	for i := range solo {
 		solo[i] = cachesim.New(cfg)
@@ -119,8 +123,11 @@ func (p *groupPair) soloHolderMask(block uint64) uint64 {
 
 // runGroupDiff decodes data as an op program over a ganged geometry and
 // drives the group and the independent caches, failing on any divergence.
-func runGroupDiff(t *testing.T, n int, cfg cachesim.Config, data []byte) {
-	p := newGroupPair(t, n, cfg)
+// With directory set, the group answers coherence queries from the
+// set-sharded directory, so the same oracle checks pin directory maintenance
+// (holder-bit adds/removes across insert, eviction, invalidation chains).
+func runGroupDiff(t *testing.T, n int, cfg cachesim.Config, directory bool, data []byte) {
+	p := newGroupPair(t, n, cfg, directory)
 	ops := &opStream{data: data}
 	for !ops.done() {
 		c := int(ops.next()) % n
@@ -258,6 +265,8 @@ func FuzzGroupEquivalence(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 10, 1, 0, 10, 2, 4, 10, 0, 6, 10, 3, 5, 10})
 	f.Add([]byte{1, 0, 2, 7, 0, 2, 1, 1, 2, 7, 1, 2, 3, 7, 0, 4, 7})
 	f.Add([]byte{4, 0, 0, 5, 1, 0, 5, 2, 0, 5, 3, 4, 5, 0, 6, 5, 2, 3, 5})
+	f.Add([]byte{0x80, 0, 0, 10, 1, 0, 10, 2, 4, 10, 0, 6, 10, 3, 5, 10})
+	f.Add([]byte{0x86, 0, 2, 9, 1, 2, 9, 2, 2, 9, 3, 2, 9, 4, 2, 9, 5, 2, 9, 0, 6, 9})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			return
@@ -267,8 +276,10 @@ func FuzzGroupEquivalence(f *testing.F) {
 		if len(data) > 4096 {
 			data = data[:4096]
 		}
-		gc := groupConfigs[int(data[0])%len(groupConfigs)]
-		runGroupDiff(t, gc.n, gc.cfg, data[1:])
+		// The high bit of the selector byte flips the group into directory
+		// mode; both modes must match the per-cache oracle exactly.
+		gc := groupConfigs[int(data[0]&0x7f)%len(groupConfigs)]
+		runGroupDiff(t, gc.n, gc.cfg, data[0]&0x80 != 0, data[1:])
 	})
 }
 
@@ -291,8 +302,8 @@ func FuzzGroupProbe(f *testing.F) {
 		if len(data) > 2048 {
 			data = data[:2048]
 		}
-		gc := groupConfigs[int(data[0])%len(groupConfigs)]
-		p := newGroupPair(t, gc.n, gc.cfg)
+		gc := groupConfigs[int(data[0]&0x7f)%len(groupConfigs)]
+		p := newGroupPair(t, gc.n, gc.cfg, data[0]&0x80 != 0)
 		window := make([]uint64, 0, 16)
 		out := make([]cachesim.GroupProbe, 16)
 		for i := 1; i+2 < len(data); i += 3 {
@@ -347,16 +358,22 @@ func FuzzGroupProbe(f *testing.F) {
 // not depend on anyone running the fuzzer.
 func TestGroupEquivalence(t *testing.T) {
 	for gi, gc := range groupConfigs {
-		gi, gc := gi, gc
-		name := fmt.Sprintf("%dx_%dB_%dway_en%d", gc.n, gc.cfg.SizeBytes, gc.cfg.Ways, gc.cfg.EnabledWays)
-		t.Run(name, func(t *testing.T) {
-			t.Parallel()
-			r := rng.New(uint64(0x96CC + gi))
-			data := make([]byte, 20_000)
-			for i := range data {
-				data[i] = byte(r.Uint64())
+		for _, directory := range []bool{false, true} {
+			gi, gc, directory := gi, gc, directory
+			mode := "broadcast"
+			if directory {
+				mode = "directory"
 			}
-			runGroupDiff(t, gc.n, gc.cfg, data)
-		})
+			name := fmt.Sprintf("%dx_%dB_%dway_en%d_%s", gc.n, gc.cfg.SizeBytes, gc.cfg.Ways, gc.cfg.EnabledWays, mode)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				r := rng.New(uint64(0x96CC + gi))
+				data := make([]byte, 20_000)
+				for i := range data {
+					data[i] = byte(r.Uint64())
+				}
+				runGroupDiff(t, gc.n, gc.cfg, directory, data)
+			})
+		}
 	}
 }

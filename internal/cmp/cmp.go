@@ -3,9 +3,11 @@
 // L2s, the cooperative spilling/swap mechanics the policies drive, a
 // trace-driven timing model, and the shared-LLC alternative of §6.1.
 //
-// The engine is deliberately single-threaded and deterministic: experiments
-// compare policies on bit-identical reference streams, which is what the
-// paper's relative improvements measure.
+// The engine is deterministic at any parallelism setting: all inter-core
+// interaction happens in the serial frontier turn order, and the optional
+// speculation workers (parallel.go) only precompute work the serial order
+// then validates. Experiments compare policies on bit-identical reference
+// streams, which is what the paper's relative improvements measure.
 package cmp
 
 import (
@@ -51,6 +53,21 @@ type Params struct {
 	// either way (FuzzBurstEquivalence holds all three engines together),
 	// so the flag exists for the honest A/B and as an escape hatch.
 	NoL2Batch bool
+
+	// NoDirectory disables the set-sharded coherence directory (DESIGN.md
+	// §13) and answers holder-mask queries with the broadcast row scan. The
+	// zero value — directory on — is the default everywhere; results are
+	// bit-identical either way (FuzzDirectoryEquivalence holds the modes
+	// together), so the flag exists for the honest A/B and as an escape
+	// hatch.
+	NoDirectory bool
+
+	// SimParallel is the speculative-worker count for in-run core
+	// parallelism (parallel.go). 0 and 1 run the engine serially; larger
+	// values offload upcoming L1 bursts to that many goroutines. Results
+	// are bit-identical at any setting. Requires the batched engine
+	// (incompatible with NoL2Batch).
+	SimParallel int
 }
 
 // DefaultParams returns the paper's Table 2 machine with the geometry scale
@@ -78,6 +95,15 @@ func DefaultParams(cores, scale int) Params {
 func (p Params) Validate() error {
 	if p.Cores <= 0 {
 		return fmt.Errorf("cmp: non-positive core count %d", p.Cores)
+	}
+	if p.Cores > 64 {
+		return fmt.Errorf("cmp: core count %d exceeds the 64-bit holder-mask limit", p.Cores)
+	}
+	if p.SimParallel < 0 {
+		return fmt.Errorf("cmp: negative sim parallelism %d", p.SimParallel)
+	}
+	if p.SimParallel > 1 && p.NoL2Batch {
+		return fmt.Errorf("cmp: sim parallelism %d requires the batched engine (NoL2Batch set)", p.SimParallel)
 	}
 	if err := p.L1.Validate(); err != nil {
 		return err
@@ -255,6 +281,10 @@ type System struct {
 	ops      []portOp
 	batcher  coop.AccessBatcher
 	deferPol bool
+
+	// spec is the speculative-burst engine (parallel.go), nil unless a
+	// phase has run with Params.SimParallel > 1.
+	spec *specEngine
 }
 
 // New builds a system. gens and timing must have p.Cores entries; policy
@@ -308,6 +338,9 @@ func New(p Params, gens []trace.Generator, timing []CoreTiming, policy coop.Poli
 			break
 		}
 	}
+	if !p.NoDirectory {
+		s.group.EnableDirectory()
+	}
 	s.batcher, _ = policy.(coop.AccessBatcher)
 	s.deferPol = s.pf == nil && s.batcher != nil
 	s.polBuf = make([]uint32, 0, 64)
@@ -320,6 +353,12 @@ func (s *System) L2(i int) *cachesim.Cache { return s.l2s[i] }
 
 // Policy returns the active cooperation policy.
 func (s *System) Policy() coop.Policy { return s.policy }
+
+// CoherenceProbes returns the number of holder-mask queries the coherence
+// fabric has answered — row scans in broadcast mode, directory lookups with
+// the directory on. Counted at identical call sites in both modes
+// (TestProbeCountParity), so the figures are comparable across an A/B.
+func (s *System) CoherenceProbes() uint64 { return s.group.Probes() }
 
 // Run simulates until every core has committed instrPerCore instructions.
 // Per the paper, a core that reaches its quota keeps executing (and keeps
@@ -349,6 +388,10 @@ func (s *System) Run(warmup, instrPerCore uint64) Results {
 func (s *System) runPhase(quota uint64) {
 	if s.p.NoL2Batch {
 		s.runPhaseNoBatch(quota)
+		return
+	}
+	if s.p.SimParallel > 1 {
+		s.runPhaseParallel(quota)
 		return
 	}
 	s.runPhaseBatched(quota)
@@ -634,7 +677,9 @@ func (s *System) remoteHit(c int, block uint64, set int, holders uint64, write b
 		for m := holders; m != 0; m &= m - 1 {
 			h := bits.TrailingZeros64(m)
 			s.l2s[h].Invalidate(block)
+			s.l1MutLock(h)
 			s.l1s[h].Invalidate(block)
+			s.l1MutUnlock(h)
 			st.BusTransfers++
 		}
 		proto := cachesim.Line{State: cachesim.Modified, Dirty: true, Reused: true, Owner: int16(c)}
@@ -649,7 +694,9 @@ func (s *System) remoteHit(c int, block uint64, set int, holders uint64, write b
 		// ASCC §3.2: migrate the last copy home; if the local victim is
 		// itself a last copy, swap it into the slot freed in the remote
 		// cache to keep both lines on chip.
+		s.l1MutLock(r)
 		s.l1s[r].Invalidate(block)
+		s.l1MutUnlock(r)
 		l2r.Invalidate(block)
 		state := cachesim.Exclusive
 		if rl.Dirty {
@@ -683,10 +730,12 @@ func (s *System) remoteHit(c int, block uint64, set int, holders uint64, write b
 		l2r.Line(set, rw).Dirty = false
 		// The owner's L1 copy (if any) carried the Modified marker; the L2
 		// copy is Shared from here on, so the next store must re-upgrade.
+		s.l1MutLock(r)
 		l1r := s.l1s[r]
 		if lw, ok := l1r.Lookup(block); ok {
 			l1r.Line(l1r.SetIndex(block), lw).State = cachesim.Exclusive
 		}
+		s.l1MutUnlock(r)
 	}
 	l2r.Line(set, rw).State = cachesim.Shared
 	st.BusTransfers++
@@ -756,7 +805,11 @@ func (s *System) handleEviction(c, set int, ev cachesim.Line, allowSpill bool) {
 	if !ev.Valid() {
 		return
 	}
+	// c may be a spill receiver, not the stepping core, so the L1
+	// back-invalidate takes the speculation lock.
+	s.l1MutLock(c)
 	s.l1s[c].Invalidate(ev.Tag)
+	s.l1MutUnlock(c)
 	if !s.isLastCopy(ev.Tag, c) {
 		return
 	}
@@ -860,7 +913,10 @@ func (s *System) trainPrefetcher(c int, block uint64) {
 // copy either, so only actual holders run invalidations.
 func (s *System) invalidateOthers(block uint64, c int) {
 	for m := s.group.InvalidateOthers(block, c); m != 0; m &= m - 1 {
-		s.l1s[bits.TrailingZeros64(m)].Invalidate(block)
+		h := bits.TrailingZeros64(m)
+		s.l1MutLock(h)
+		s.l1s[h].Invalidate(block)
+		s.l1MutUnlock(h)
 	}
 }
 

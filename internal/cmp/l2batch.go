@@ -354,7 +354,9 @@ func (s *System) remoteHitBatched(c int, block uint64, set int, holders uint64, 
 		for m := holders; m != 0; m &= m - 1 {
 			h := bits.TrailingZeros64(m)
 			s.l2s[h].Invalidate(block)
+			s.l1MutLock(h)
 			s.l1s[h].Invalidate(block)
+			s.l1MutUnlock(h)
 			st.BusTransfers++
 		}
 		proto := cachesim.Line{State: cachesim.Modified, Dirty: true, Reused: true, Owner: int16(c)}
@@ -366,7 +368,9 @@ func (s *System) remoteHitBatched(c int, block uint64, set int, holders uint64, 
 	}
 
 	if s.policy.SwapEnabled() && lastCopy {
+		s.l1MutLock(r)
 		s.l1s[r].Invalidate(block)
+		s.l1MutUnlock(r)
 		l2r.Invalidate(block)
 		state := cachesim.Exclusive
 		if rl.Dirty {
@@ -395,10 +399,12 @@ func (s *System) remoteHitBatched(c int, block uint64, set int, holders uint64, 
 		s.live[r].Writebacks++
 		s.live[r].OffChip++
 		l2r.Line(set, rw).Dirty = false
+		s.l1MutLock(r)
 		l1r := s.l1s[r]
 		if lw, ok := l1r.Lookup(block); ok {
 			l1r.Line(l1r.SetIndex(block), lw).State = cachesim.Exclusive
 		}
+		s.l1MutUnlock(r)
 	}
 	l2r.Line(set, rw).State = cachesim.Shared
 	st.BusTransfers++
@@ -433,7 +439,11 @@ func (s *System) handleEvictionBatched(c, set int, ev cachesim.Line, allowSpill 
 	if !ev.Valid() {
 		return
 	}
+	// c may be a spill receiver, not the stepping core, so the L1
+	// back-invalidate takes the speculation lock.
+	s.l1MutLock(c)
 	s.l1s[c].Invalidate(ev.Tag)
+	s.l1MutUnlock(c)
 	if !s.isLastCopy(ev.Tag, c) {
 		return
 	}

@@ -1,0 +1,432 @@
+// In-run core parallelism (DESIGN.md §13): speculative first-burst workers.
+//
+// The run-to-event engine steps one core at a time at the sorted
+// (clock, index) frontier; every inter-core interaction (the shared L2 slab,
+// the ports, the policy) happens inside that serial turn order, which is what
+// makes results bit-identical run to run. This file parallelises the one
+// piece of a turn that touches no shared state: the opening L1 burst. When
+// core c finishes a turn and goes back into the frontier, a worker goroutine
+// speculatively runs c's *next* opening burst on a private clone of c's L1 —
+// the L1 is core-private (peers only ever invalidate lines in it), the
+// reference batch is core-private, and the burst kernel touches nothing else.
+// When c's next turn starts, the main goroutine adopts the speculative result
+// if it is still valid, or discards it and redoes the burst live. Both paths
+// produce identical state, so the simulation stays deterministic at any
+// -sim-parallel setting; speculation only moves work off the critical thread.
+//
+// Validity has two halves:
+//
+//   - The basis must be untouched: no peer invalidated a line in c's L1
+//     after the worker copied it. Every peer-L1 write site goes through
+//     l1MutLock/l1MutUnlock, which bumps the slot's version under the slot
+//     mutex; the worker records the version under the same mutex while
+//     copying, and the claim compares. (A bump *before* the copy is fine:
+//     the copy then includes the mutation.)
+//
+//   - The burst must not overrun the frontier. The worker runs with no clock
+//     limit (the true runner-up clock is unknowable ahead of time), so the
+//     claim accepts the result only when its final clock is strictly below
+//     the turn's actual runner-up clock. ReadBurst checks the frontier after
+//     each committed hit reference and the clock is monotone, so a final
+//     clock below the limit means every in-kernel check the live run would
+//     have made passes — the live kernel would have consumed exactly the
+//     same references and returned the same event.
+//
+// Ownership protocol per slot (one slot per core), all transitions through
+// the atomic state word:
+//
+//	Idle -> Requested        main, at c's turn fold (basis fields written first)
+//	Requested -> Copying     worker, claiming the job poke
+//	Copying -> Done          worker, result written
+//	any -> Claimed           main, at c's next turn start (Swap)
+//	Claimed/aborted -> Idle  whoever lost the race, per the rules in specClaim
+//
+// The only cross-goroutine data are the slot fields (ordered by the state
+// word's release/acquire transitions), the live L1 and batch contents (read
+// by the worker only inside the slot mutex; the claim's mutex fence keeps a
+// mid-copy worker ordered before the turn's mutations), and s.l1s[c] /
+// s.batches[c].Refs themselves, which main mutates only while the slot is
+// Claimed.
+package cmp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ascc/internal/cachesim"
+	"ascc/internal/trace"
+)
+
+// Slot states. See the protocol table in the file comment.
+const (
+	specIdle int32 = iota
+	specRequested
+	specCopying
+	specDone
+	specClaimed
+)
+
+// specResult is one speculative burst outcome: ReadBurst's return values,
+// the batch cursor after the burst, and the basis version the clone was
+// copied at.
+type specResult struct {
+	ev      cachesim.BurstEvent
+	instr   uint64
+	clock   float64
+	hits    uint64
+	block   uint64
+	way     int
+	write   bool
+	endPos  int
+	version uint64
+}
+
+// specSlot is one core's speculation state.
+type specSlot struct {
+	state atomic.Int32
+
+	// mu guards the basis copy: the worker holds it while cloning the live
+	// L1 and batch tail, and main takes it to bump version at peer-L1 write
+	// sites (l1MutLock) or to fence a mid-copy worker at claim time.
+	mu sync.Mutex
+
+	// version counts invalidation epochs of this core's L1. Written by main
+	// (under mu), read by the worker (under mu) and by main's claim (no mu:
+	// main is the only writer).
+	version uint64
+
+	// Request basis: written by main while the slot is Idle, published by
+	// the Idle -> Requested transition.
+	quota uint64
+	pos   int
+	nrefs int
+	instr uint64
+	clock float64
+
+	baseCPI float64
+	refs    []trace.Ref     // private copy of the live batch buffer
+	clone   *cachesim.Cache // private L1 the burst runs on
+	res     specResult
+}
+
+// specEngine is the per-System speculation machinery. Workers live for one
+// phase (specStart/specStop) so phase resets can never race a stale burst.
+type specEngine struct {
+	slots []specSlot
+	jobs  chan int32
+	wg    sync.WaitGroup
+	shift uint
+
+	// Diagnostics, main-goroutine only.
+	requested uint64
+	committed uint64
+	discarded uint64
+}
+
+// specStart builds the engine on first use, resets every slot and spawns the
+// phase's workers.
+func (s *System) specStart() {
+	if s.spec == nil {
+		e := &specEngine{
+			slots: make([]specSlot, s.p.Cores),
+			shift: s.lineShift,
+		}
+		for i := range e.slots {
+			sl := &e.slots[i]
+			sl.clone = cachesim.New(s.p.L1)
+			sl.refs = make([]trace.Ref, refBatch)
+			sl.baseCPI = s.timing[i].BaseCPI
+		}
+		s.spec = e
+	}
+	e := s.spec
+	for i := range e.slots {
+		e.slots[i].state.Store(specIdle)
+		e.slots[i].version++
+	}
+	e.jobs = make(chan int32, 4*s.p.Cores)
+	workers := s.p.SimParallel
+	if workers > s.p.Cores {
+		workers = s.p.Cores
+	}
+	e.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go e.worker(s)
+	}
+}
+
+// specStop drains and joins the phase's workers. Slots may be left in any
+// state; specStart resets them.
+func (s *System) specStop() {
+	close(s.spec.jobs)
+	s.spec.wg.Wait()
+}
+
+// SpecStats reports the speculation outcome counters (requested, committed,
+// discarded) — diagnostics for the honest A/B, not part of Results.
+func (s *System) SpecStats() (requested, committed, discarded uint64) {
+	if s.spec == nil {
+		return 0, 0, 0
+	}
+	return s.spec.requested, s.spec.committed, s.spec.discarded
+}
+
+// worker services burst jobs until the phase closes the channel. A poke is
+// only a hint: the slot's state word decides whether the job is still live.
+func (e *specEngine) worker(s *System) {
+	defer e.wg.Done()
+	for ci := range e.jobs {
+		sl := &e.slots[ci]
+		if !sl.state.CompareAndSwap(specRequested, specCopying) {
+			continue // stale poke: the request was claimed or withdrawn
+		}
+		sl.mu.Lock()
+		if sl.state.Load() != specCopying {
+			// Claimed between our CAS and the lock: the main goroutine saw
+			// Copying, fenced on mu (possibly before we got here) and went on
+			// to mutate the live L1. Abort without touching it; the aborting
+			// side owns the transition back to Idle.
+			sl.mu.Unlock()
+			sl.state.Store(specIdle)
+			continue
+		}
+		ver := sl.version
+		sl.clone.CopyStateFrom(s.l1s[ci])
+		copy(sl.refs[sl.pos:sl.nrefs], s.batches[ci].Refs[sl.pos:sl.nrefs])
+		sl.mu.Unlock()
+		bt := trace.Batch{Refs: sl.refs[:sl.nrefs], Pos: sl.pos}
+		ev, instr, clock, hits, block, way, write := sl.clone.ReadBurst(
+			&bt, e.shift, sl.baseCPI, sl.quota, math.Inf(1), sl.instr, sl.clock)
+		sl.res = specResult{ev: ev, instr: instr, clock: clock, hits: hits,
+			block: block, way: way, write: write, endPos: bt.Pos, version: ver}
+		if !sl.state.CompareAndSwap(specCopying, specDone) {
+			// Claimed mid-burst; the result is dead. Relinquish.
+			sl.state.Store(specIdle)
+		}
+	}
+}
+
+// specClaimGrace bounds the claim's cooperative wait for an in-flight
+// speculation: on a single-P or loaded machine the worker may not have run
+// between the request and the claim, so main yields its quantum a bounded
+// number of times to let the burst finish instead of always discarding it.
+// On an idle multi-core machine the slot is already Done (or promptly
+// becomes so) and the loop exits on the first checks.
+const specClaimGrace = 128
+
+// specClaim takes ownership of core c's slot at the start of its turn and
+// returns the speculative result if one is present and its basis is intact,
+// else nil. After specClaim returns, no worker reads core c's live L1 or
+// batch, so the turn may mutate and (on adoption) swap them freely.
+func (s *System) specClaim(c int, quota uint64) *specResult {
+	sl := &s.spec.slots[c]
+	for i := 0; i < specClaimGrace; i++ {
+		if st := sl.state.Load(); st != specRequested && st != specCopying {
+			break
+		}
+		runtime.Gosched()
+	}
+	switch sl.state.Swap(specClaimed) {
+	case specCopying:
+		// The worker is somewhere between its claim CAS and its result CAS.
+		// Fence on the copy mutex: either the copy already finished (the
+		// result dies at its version/basis check next claim), or the worker
+		// aborts at its in-mutex state check. Either way it no longer touches
+		// the live L1. The worker owns the transition back to Idle.
+		sl.mu.Lock()
+		sl.mu.Unlock() //nolint:staticcheck // empty critical section is the fence
+		return nil
+	case specDone:
+		res := &sl.res
+		ok := res.version == sl.version &&
+			sl.instr == s.live[c].Instructions &&
+			sl.clock == s.clock[c] &&
+			sl.quota == quota
+		sl.state.Store(specIdle)
+		if !ok {
+			s.spec.discarded++
+			return nil
+		}
+		return res
+	default: // Idle (nothing requested) or Requested (no worker got to it)
+		sl.state.Store(specIdle)
+		return nil
+	}
+}
+
+// specRequest asks a worker to run core c's next opening burst. Called at
+// c's turn fold, after the batch cursor, instruction count and clock have
+// settled; those values are the basis the burst runs from.
+func (s *System) specRequest(c int, quota, instr uint64, clock float64) {
+	sl := &s.spec.slots[c]
+	if sl.state.Load() != specIdle {
+		return
+	}
+	bt := &s.batches[c]
+	sl.quota = quota
+	sl.pos = bt.Pos
+	sl.nrefs = len(bt.Refs)
+	sl.instr = instr
+	sl.clock = clock
+	sl.state.Store(specRequested)
+	select {
+	case s.spec.jobs <- int32(c):
+		s.spec.requested++
+	default:
+		// Queue full: withdraw, unless a stale poke already took the job.
+		sl.state.CompareAndSwap(specRequested, specIdle)
+	}
+}
+
+// l1MutLock serialises a write to peer core p's L1 against a worker cloning
+// it, and bumps the slot version so any snapshot taken before the write is
+// rejected at claim time. No-ops when speculation is off. The stepping
+// core's own L1 writes need no lock: its slot is Claimed for the whole turn,
+// so no worker can be copying it.
+func (s *System) l1MutLock(p int) {
+	if s.spec == nil {
+		return
+	}
+	sl := &s.spec.slots[p]
+	sl.mu.Lock()
+	sl.version++
+}
+
+func (s *System) l1MutUnlock(p int) {
+	if s.spec == nil {
+		return
+	}
+	s.spec.slots[p].mu.Unlock()
+}
+
+// runPhaseParallel is runPhaseBatched with the speculation protocol spliced
+// in: claim-and-adopt at turn start, request at the fold. Everything else —
+// the frontier, the event switch, the turn fold — is identical, and the
+// adopted path reproduces exactly the state the live ReadBurst would have
+// produced, so results are bit-identical to the serial engines.
+func (s *System) runPhaseParallel(quota uint64) {
+	s.specStart()
+	defer s.specStop()
+	n := s.p.Cores
+	shift := s.lineShift
+	front := s.front[:0]
+	for i := 0; i < n; i++ {
+		if s.done[i] {
+			continue
+		}
+		j := len(front)
+		front = append(front, int32(i))
+		for ; j > 0; j-- {
+			p := front[j-1]
+			if s.clock[p] < s.clock[i] || (s.clock[p] == s.clock[i] && p < int32(i)) {
+				break
+			}
+			front[j], front[j-1] = front[j-1], front[j]
+		}
+	}
+	for len(front) > 0 {
+		c := int(front[0])
+		second := math.Inf(1)
+		if len(front) > 1 {
+			second = s.clock[front[1]]
+		}
+		// Take the slot before touching anything a worker might be reading.
+		sp := s.specClaim(c, quota)
+		if sp != nil && sp.clock >= second {
+			// The speculative burst overran the frontier: somewhere inside it
+			// the live kernel would have stopped. Redo it live.
+			s.spec.discarded++
+			sp = nil
+		}
+		st := &s.live[c]
+		t := s.timing[c]
+		gen := s.gens[c]
+		bt := &s.batches[c]
+		if sp != nil {
+			// Adopt: the clone (already stepped through the burst) becomes
+			// the live L1, the old live L1 becomes the next clone, and the
+			// cursor jumps over the consumed references.
+			sl := &s.spec.slots[c]
+			s.l1s[c], sl.clone = sl.clone, s.l1s[c]
+			bt.Pos = sp.endPos
+			s.spec.committed++
+		}
+		l1 := s.l1s[c]
+		instr := st.Instructions
+		clock := s.clock[c]
+		ta := turnAcc{latencySum: st.LatencySum, queueDelay: st.QueueDelay}
+		var accesses, allHits uint64
+		var ev cachesim.BurstEvent
+		var hits, block uint64
+		var way int
+		var write bool
+	stepping:
+		for {
+			if sp != nil {
+				ev, instr, clock, hits, block, way, write =
+					sp.ev, sp.instr, sp.clock, sp.hits, sp.block, sp.way, sp.write
+				sp = nil
+			} else {
+				ev, instr, clock, hits, block, way, write =
+					l1.ReadBurst(bt, shift, t.BaseCPI, quota, second, instr, clock)
+			}
+			accesses += hits
+			allHits += hits
+			switch ev {
+			case cachesim.BurstBatchEnd:
+				bt.Refill(gen)
+				continue
+			case cachesim.BurstQuota, cachesim.BurstFrontier:
+				break stepping
+			case cachesim.BurstUpgrade:
+				line := l1.Line(l1.SetIndex(block), way)
+				s.writeThroughHit(c, block)
+				line.State = cachesim.Modified
+			case cachesim.BurstMiss:
+				accesses++
+				lat := s.l2DemandBatched(c, block, write, clock, &ta)
+				clock += lat * t.Overlap
+			}
+			if instr >= quota || clock >= second {
+				break stepping
+			}
+		}
+		s.flushPolicy(c)
+		st.Instructions = instr
+		st.L1Accesses += accesses
+		st.L1Hits += allHits
+		st.Cycles = clock
+		st.L2Accesses += ta.l2Accesses
+		st.L2LocalHits += ta.localHits
+		st.L2RemoteHits += ta.remoteHits
+		st.L2MemFills += ta.memFills
+		st.LatencySum = ta.latencySum
+		st.QueueDelay = ta.queueDelay
+		s.clock[c] = clock
+		if instr >= quota {
+			s.frozen[c] = *st
+			s.done[c] = true
+			front = front[1:]
+			continue
+		}
+		j := 0
+		for j+1 < len(front) {
+			nx := front[j+1]
+			cv := s.clock[nx]
+			if cv < clock || (cv == clock && int(nx) < c) {
+				front[j] = nx
+				j++
+			} else {
+				break
+			}
+		}
+		front[j] = int32(c)
+		// Speculate on this core's next opening burst — unless it is already
+		// next (main would only wait on the worker).
+		if front[0] != int32(c) {
+			s.specRequest(c, quota, instr, clock)
+		}
+	}
+}

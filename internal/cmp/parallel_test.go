@@ -1,0 +1,240 @@
+// Tests for the set-sharded directory and the speculative parallel engine at
+// the full-system level: a three-engine differential fuzzer (directory vs
+// broadcast vs the frozen per-reference oracle), bit-identical determinism at
+// every -sim-parallel setting, and proof the speculation actually commits
+// (so the determinism runs exercise the adoption path, not just the
+// fallback). The group-level differential wall is group_diff_test.go; the
+// shard mechanics are directory_test.go.
+package cmp
+
+import (
+	"reflect"
+	"testing"
+
+	"ascc/internal/cachesim"
+	"ascc/internal/coop"
+	"ascc/internal/policies"
+	"ascc/internal/rng"
+	"ascc/internal/trace"
+)
+
+// fuzzSystem builds one system over per-core cyclic scripts decoded from the
+// fuzz body (3 bytes per reference over a 64-block space, as in
+// FuzzBurstEquivalence — heavy cross-core sharing by construction).
+func fuzzSystem(t *testing.T, p Params, body []byte, cores int, useASCC bool, timing []CoreTiming) *System {
+	t.Helper()
+	per := len(body) / (3 * cores)
+	gens := make([]trace.Generator, cores)
+	for core := range gens {
+		refs := make([]trace.Ref, per)
+		for i := range refs {
+			b := body[(core*per+i)*3:]
+			refs[i] = trace.Ref{
+				Addr:  uint64(b[0]%64) * 32,
+				Gap:   int32(b[1] % 8),
+				Write: b[2]&1 == 1,
+			}
+		}
+		gens[core] = &scriptGen{name: "fuzz", refs: refs}
+	}
+	var pol coop.Policy
+	if useASCC {
+		sets := p.L2.SizeBytes / p.L2.LineBytes / p.L2.Ways
+		cfg := policies.AVGCCDefaultConfig(cores, sets, p.L2.Ways, 1)
+		cfg.ResizePeriod = 50
+		pol = policies.NewASCCVariant("AVGCC", cfg)
+	} else {
+		pol = policies.NewBaseline()
+	}
+	sys, err := New(p, gens, timing, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// FuzzDirectoryEquivalence is the three-engine differential wall for the
+// coherence directory and the parallel engine: the batched engine with the
+// directory (the default), the batched engine in broadcast mode
+// (NoDirectory), and the directory engine under speculative parallelism
+// (SimParallel 2..5) all run the same machine and reference streams, and all
+// three must be bit-identical — frozen CoreStats, final clocks, batch
+// cursors, complete L1/L2 state — to the frozen per-reference broadcast
+// oracle (refRun). The directory and broadcast runs must also answer the
+// same number of coherence probes (the property that makes the scaling
+// table's probe column an apples-to-apples A/B). Core counts reach 8 so
+// holder masks cover more than 4 peers; ASCC variants exercise last-copy
+// swaps and spills through the directory's remove/add paths.
+func FuzzDirectoryEquivalence(f *testing.F) {
+	f.Add([]byte("directory-differential-seed"))
+	// 8 cores, ASCC, SimParallel 5, every core hammering blocks 0/1 —
+	// holder masks with 7 peers from the first few turns.
+	f.Add([]byte{6, 1, 1, 0x40, 0x0c,
+		0, 0, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 0, 2, 0, 1, 2, 1,
+		0, 0, 1, 1, 3, 0, 0, 1, 1, 1, 0, 0, 0, 2, 1, 1, 1, 0,
+		0, 4, 0, 1, 0, 1, 0, 1, 0, 1, 2, 1})
+	// 6 cores, baseline + prefetch, striding writes over the block space.
+	f.Add([]byte{4, 0, 0, 0x20, 0x06,
+		0, 1, 1, 8, 1, 0, 16, 1, 1, 24, 1, 0, 32, 1, 1, 40, 1, 0,
+		48, 1, 1, 56, 1, 0, 4, 1, 1, 12, 1, 0, 20, 1, 1, 28, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			t.Skip()
+		}
+		cores := 2 + int(data[0]%7) // 2..8: past the 4-core golden config
+		l1Ways := 2 << (data[1] % 2)
+		useASCC := data[2]%2 == 1
+		quota := 100 + uint64(data[3])*16
+		warmup := uint64(0)
+		if data[4]%2 == 1 {
+			warmup = quota / 3
+		}
+		simPar := 2 + int(data[4]>>2)%4
+		p := tinyParams(cores)
+		p.L1 = cachesim.Config{SizeBytes: 32 * 2 * l1Ways, Ways: l1Ways, LineBytes: 32}
+		if data[4]&2 != 0 {
+			p.Prefetch = true
+			p.PrefetchEntries = 64
+			p.PrefetchDegree = 2
+		}
+		body := data[5:]
+		if len(body)/(3*cores) == 0 {
+			t.Skip()
+		}
+		timing := make([]CoreTiming, cores)
+		for i := range timing {
+			timing[i] = CoreTiming{BaseCPI: 1 + float64((int(data[0])+i)%3)/2, Overlap: 0.5}
+		}
+		build := func(noDir bool, simParallel int) *System {
+			pv := p
+			pv.NoDirectory = noDir
+			pv.SimParallel = simParallel
+			return fuzzSystem(t, pv, body, cores, useASCC, timing)
+		}
+
+		dir := build(false, 0)
+		bcast := build(true, 0)
+		par := build(false, simPar)
+		oracle := build(true, 0)
+		dirRes := dir.Run(warmup, quota)
+		bcastRes := bcast.Run(warmup, quota)
+		parRes := par.Run(warmup, quota)
+		wantRes := oracle.refRun(warmup, quota)
+
+		for _, eng := range []struct {
+			name string
+			sys  *System
+			res  Results
+		}{{"directory", dir, dirRes}, {"broadcast", bcast, bcastRes}, {"parallel", par, parRes}} {
+			if !reflect.DeepEqual(eng.res, wantRes) {
+				t.Errorf("%s results diverge:\ngot:  %+v\nwant: %+v", eng.name, eng.res, wantRes)
+			}
+			for i := 0; i < cores; i++ {
+				if eng.sys.clock[i] != oracle.clock[i] {
+					t.Errorf("%s core %d clock: got %v, want %v", eng.name, i, eng.sys.clock[i], oracle.clock[i])
+				}
+				if eng.sys.batches[i].Pos != oracle.batches[i].Pos {
+					t.Errorf("%s core %d batch cursor: got %d, want %d",
+						eng.name, i, eng.sys.batches[i].Pos, oracle.batches[i].Pos)
+				}
+				compareCaches(t, "L1/"+eng.name, i, eng.sys.l1s[i], oracle.l1s[i])
+				compareCaches(t, "L2/"+eng.name, i, eng.sys.L2(i), oracle.L2(i))
+			}
+		}
+		if dp, bp := dir.CoherenceProbes(), bcast.CoherenceProbes(); dp != bp {
+			t.Errorf("probe counts diverge: directory %d, broadcast %d", dp, bp)
+		}
+	})
+}
+
+// parTestSystem builds a conflict-heavy shared-traffic machine: every core
+// draws random mostly-read references from the same 64-block space, so turns
+// are short, misses and holder churn constant — the regime speculation has
+// to stay correct in.
+func parTestSystem(t *testing.T, cores, simParallel int) *System {
+	t.Helper()
+	p := tinyParams(cores)
+	p.SimParallel = simParallel
+	r := rng.New(0x5eed)
+	body := make([]byte, 3*cores*40)
+	for i := range body {
+		body[i] = byte(r.Uint64())
+	}
+	timing := make([]CoreTiming, cores)
+	for i := range timing {
+		timing[i] = CoreTiming{BaseCPI: 1 + float64(i%3)/2, Overlap: 0.5}
+	}
+	return fuzzSystem(t, p, body, cores, true, timing)
+}
+
+// TestParallelDeterminism pins the headline property: the same machine run
+// at every -sim-parallel setting produces bit-identical results — frozen
+// stats, final clocks, complete cache state. Runs under -race in `make
+// race`, which is what actually checks the speculation protocol's memory
+// ordering.
+func TestParallelDeterminism(t *testing.T) {
+	const cores, quota = 8, 30_000
+	base := parTestSystem(t, cores, 0)
+	want := base.Run(quota/10, quota)
+	for _, par := range []int{1, 2, 4, 8} {
+		sys := parTestSystem(t, cores, par)
+		got := sys.Run(quota/10, quota)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("SimParallel=%d results diverge from serial:\ngot:  %+v\nwant: %+v", par, got, want)
+		}
+		for i := 0; i < cores; i++ {
+			if sys.clock[i] != base.clock[i] {
+				t.Errorf("SimParallel=%d core %d clock: got %v, want %v", par, i, sys.clock[i], base.clock[i])
+			}
+			compareCaches(t, "L1", i, sys.l1s[i], base.l1s[i])
+			compareCaches(t, "L2", i, sys.L2(i), base.L2(i))
+		}
+	}
+}
+
+// TestParallelSpecCommits proves the speculation path is live, not
+// vacuously-correct fallback: a conflict-heavy run at SimParallel=4 must
+// adopt a meaningful share of speculative bursts.
+func TestParallelSpecCommits(t *testing.T) {
+	sys := parTestSystem(t, 8, 4)
+	sys.Run(0, 50_000)
+	req, com, dis := sys.SpecStats()
+	t.Logf("speculation: %d requested, %d committed, %d discarded", req, com, dis)
+	if req == 0 {
+		t.Fatal("no speculative bursts requested")
+	}
+	if com == 0 {
+		t.Fatal("no speculative bursts committed: parallelism is vacuous")
+	}
+}
+
+// TestValidateParallelParams pins the machine-description limits the new
+// flags introduce.
+func TestValidateParallelParams(t *testing.T) {
+	base := tinyParams(4)
+	cases := []struct {
+		name string
+		mod  func(*Params)
+		ok   bool
+	}{
+		{"default", func(p *Params) {}, true},
+		{"max_cores", func(p *Params) { p.Cores = 64 }, true},
+		{"over_64_cores", func(p *Params) { p.Cores = 65 }, false},
+		{"negative_parallel", func(p *Params) { p.SimParallel = -1 }, false},
+		{"parallel_serial_engine", func(p *Params) { p.SimParallel = 4; p.NoL2Batch = true }, false},
+		{"parallel_batched", func(p *Params) { p.SimParallel = 4 }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mod(&p)
+			err := p.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid params accepted")
+			}
+		})
+	}
+}

@@ -78,7 +78,8 @@ func Ablation(cfg harness.Config) (Result, error) {
 	}
 	if err := harness.ForEach(len(variants)*len(mixes), func(k int) error {
 		vi, mi := k/len(mixes), k%len(mixes)
-		mix := mixes[mi]
+		// Caller-built policy ⇒ caller-owned -cores widening (see Table1).
+		mix := workload.ExtendMix(mixes[mi], cfg.Cores)
 		alone, err := r.AloneCPIs(mix)
 		if err != nil {
 			return err
@@ -87,7 +88,9 @@ func Ablation(cfg harness.Config) (Result, error) {
 		if err != nil {
 			return err
 		}
-		pol := policies.NewASCCVariant(variants[vi].name, variants[vi].mk())
+		pcfg := variants[vi].mk()
+		pcfg.Caches = len(mix)
+		pol := policies.NewASCCVariant(variants[vi].name, pcfg)
 		run, err := r.RunMixWith(mix, pol)
 		if err != nil {
 			return err

@@ -62,6 +62,7 @@ func All(cfg harness.Config) ([]Result, error) {
 		Fig7, Fig8, Fig9, SharedLLC, Fig10,
 		Multithreaded, Prefetcher, Table4, SpillBehavior,
 		LimitedCounters, Fig11, Table5, Ablation, FutureWork,
+		Scaleout,
 	}
 	cfg = cfg.EnsurePool()
 	out := make([]Result, len(steps))
@@ -104,6 +105,7 @@ func ByID(cfg harness.Config, id string) (Result, error) {
 		"table5":     Table5,
 		"ablation":   Ablation,
 		"futurework": FutureWork,
+		"scaleout":   Scaleout,
 	}
 	fn, ok := m[id]
 	if !ok {
@@ -119,5 +121,6 @@ func IDs() []string {
 		"fig7", "fig8", "fig9", "shared", "fig10",
 		"mt", "prefetch", "table4", "spills",
 		"limited", "fig11", "table5", "ablation", "futurework",
+		"scaleout",
 	}
 }

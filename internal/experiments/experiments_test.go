@@ -19,8 +19,8 @@ func tinyConfig() harness.Config {
 
 func TestIDsAndByID(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("%d experiment ids, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("%d experiment ids, want 20", len(ids))
 	}
 	if _, err := ByID(tinyConfig(), "bogus"); err == nil {
 		t.Fatal("unknown id accepted")

@@ -17,28 +17,28 @@ func FutureWork(cfg harness.Config) (Result, error) {
 
 	variants := []struct {
 		name string
-		mk   func() *policies.ASCC
+		mk   func(cores int) *policies.ASCC
 	}{
-		{"SSL ceiling K+2", func() *policies.ASCC {
-			c := asccBase(sets, ways, cfg.Seed)
+		{"SSL ceiling K+2", func(cores int) *policies.ASCC {
+			c := asccBase(cores, sets, ways, cfg.Seed)
 			c.SSLMax = ways + 2
 			return policies.NewASCCVariant("ASCC-maxK+2", c)
 		}},
-		{"SSL ceiling 3K/2", func() *policies.ASCC {
-			c := asccBase(sets, ways, cfg.Seed)
+		{"SSL ceiling 3K/2", func(cores int) *policies.ASCC {
+			c := asccBase(cores, sets, ways, cfg.Seed)
 			c.SSLMax = ways + ways/2
 			return policies.NewASCCVariant("ASCC-max3K/2", c)
 		}},
-		{"SSL ceiling 2K-1 (paper)", func() *policies.ASCC {
-			return policies.NewASCCVariant("ASCC", asccBase(sets, ways, cfg.Seed))
+		{"SSL ceiling 2K-1 (paper)", func(cores int) *policies.ASCC {
+			return policies.NewASCCVariant("ASCC", asccBase(cores, sets, ways, cfg.Seed))
 		}},
-		{"SSL ceiling 4K-1", func() *policies.ASCC {
-			c := asccBase(sets, ways, cfg.Seed)
+		{"SSL ceiling 4K-1", func(cores int) *policies.ASCC {
+			c := asccBase(cores, sets, ways, cfg.Seed)
 			c.SSLMax = 4*ways - 1
 			return policies.NewASCCVariant("ASCC-max4K-1", c)
 		}},
-		{"EWMA miss-ratio metric", func() *policies.ASCC {
-			c := asccBase(sets, ways, cfg.Seed)
+		{"EWMA miss-ratio metric", func(cores int) *policies.ASCC {
+			c := asccBase(cores, sets, ways, cfg.Seed)
 			c.EWMA = true
 			return policies.NewASCCVariant("ASCC-EWMA", c)
 		}},
@@ -61,7 +61,8 @@ func FutureWork(cfg harness.Config) (Result, error) {
 	}
 	if err := harness.ForEach(len(variants)*len(mixes), func(k int) error {
 		vi, mi := k/len(mixes), k%len(mixes)
-		mix := mixes[mi]
+		// Caller-built policy => caller-owned -cores widening (see Table1).
+		mix := workload.ExtendMix(mixes[mi], cfg.Cores)
 		alone, err := r.AloneCPIs(mix)
 		if err != nil {
 			return err
@@ -70,7 +71,7 @@ func FutureWork(cfg harness.Config) (Result, error) {
 		if err != nil {
 			return err
 		}
-		run, err := r.RunMixWith(mix, variants[vi].mk())
+		run, err := r.RunMixWith(mix, variants[vi].mk(len(mix)))
 		if err != nil {
 			return err
 		}
@@ -90,9 +91,9 @@ func FutureWork(cfg harness.Config) (Result, error) {
 }
 
 // asccBase is the published ASCC configuration for the future-work sweeps.
-func asccBase(sets, ways int, seed uint64) policies.ASCCConfig {
+func asccBase(cores, sets, ways int, seed uint64) policies.ASCCConfig {
 	return policies.ASCCConfig{
-		Caches: 4, Sets: sets, Assoc: ways,
+		Caches: cores, Sets: sets, Assoc: ways,
 		Capacity: policies.CapacitySABIP, Epsilon: 1.0 / 32.0,
 		Swap: true, Seed: seed,
 	}

@@ -27,9 +27,10 @@ func goldenConfig() harness.Config {
 }
 
 // goldenExperiments are the artefacts pinned byte-for-byte: the headline
-// 4-core speedup figure, the fairness figure and the cache-size
-// sensitivity table.
-var goldenExperiments = []string{"fig8", "fig9", "table4"}
+// 4-core speedup figure, the fairness figure, the cache-size sensitivity
+// table and the core-count scaling table (whose probe column pins the
+// directory's query count at every width).
+var goldenExperiments = []string{"fig8", "fig9", "table4", "scaleout"}
 
 // TestGoldenTables regenerates each pinned experiment with the golden
 // configuration and requires its CSV rendering to be byte-identical to the

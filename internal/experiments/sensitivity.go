@@ -229,7 +229,8 @@ func LimitedCounters(cfg harness.Config) (Result, error) {
 	}
 	if err := harness.ForEach(len(fracs)*len(mixes), func(k int) error {
 		fi, mi := k/len(mixes), k%len(mixes)
-		frac, mix := fracs[fi], mixes[mi]
+		// Caller-built policy ⇒ caller-owned -cores widening (see Table1).
+		frac, mix := fracs[fi], workload.ExtendMix(mixes[mi], cfg.Cores)
 		alone, err := r.AloneCPIs(mix)
 		if err != nil {
 			return err

@@ -248,7 +248,10 @@ func Table1(cfg harness.Config) (Result, error) {
 	}
 	if err := harness.ForEach(len(mixes)*len(groupSizes), func(k int) error {
 		mi, gi := k/len(groupSizes), k%len(groupSizes)
-		mix := mixes[mi]
+		// RunMixWith takes a caller-built policy, so the caller also owns
+		// the -cores widening: extend the mix first and size the policy
+		// from the widened length (RunMix/AloneCPIs widen identically).
+		mix := workload.ExtendMix(mixes[mi], cfg.Cores)
 		alone, err := r.AloneCPIs(mix)
 		if err != nil {
 			return err

@@ -59,6 +59,23 @@ type Config struct {
 	// bit-identical either way; the toggle exists for A/B timing and as an
 	// escape hatch.
 	NoL2Batch bool
+	// Cores, when non-zero, widens every mix run to that many cores by
+	// cyclic replication (workload.ExtendMix): a 4-app mix on Cores=16 runs
+	// four independent copies of each application. Zero keeps each mix's
+	// natural width. Single-application calibration runs (AloneCPI) are
+	// never widened. At most 64 (the holder-mask word).
+	Cores int
+	// SimParallel is the speculative-worker count for in-run core
+	// parallelism (cmp.Params.SimParallel, DESIGN.md §13): 0 or 1 runs each
+	// simulation on one goroutine, larger values offload upcoming L1 bursts.
+	// Results are bit-identical at any setting. Composes with Parallel
+	// (across-simulation fan-out): total goroutine demand is the product.
+	SimParallel int
+	// NoDirectory disables the set-sharded coherence directory
+	// (cmp.Params.NoDirectory, DESIGN.md §13) and answers holder-mask
+	// queries with broadcast row scans. Results are bit-identical either
+	// way; the toggle exists for the honest A/B and as an escape hatch.
+	NoDirectory bool
 
 	// pool, when non-nil, is the worker pool shared by every Runner built
 	// from this configuration (set via WithPool / EnsurePool). The zero
@@ -124,8 +141,14 @@ func (c Config) params(cores int) cmp.Params {
 	}
 	p.Prefetch = c.Prefetch
 	p.NoL2Batch = c.NoL2Batch
+	p.NoDirectory = c.NoDirectory
+	p.SimParallel = c.SimParallel
 	return p
 }
+
+// extend widens a mix to the configured core count (no-op when Cores is
+// zero or the mix is already at least that wide).
+func (c Config) extend(mix []int) []int { return workload.ExtendMix(mix, c.Cores) }
 
 // L2Geometry returns (sets, ways) of the configured LLC — what policy
 // constructors need.
@@ -344,9 +367,10 @@ func timingFor(profs []workload.Profile) []cmp.CoreTiming {
 // AloneCPI returns benchmark id's CPI when running alone on a single-core
 // baseline machine of the configured geometry. The underlying simulation is
 // memoised: every figure that normalises against the same benchmark shares
-// one run, even when they request it concurrently.
+// one run, even when they request it concurrently. The run bypasses the
+// Cores widening — "alone" means one core no matter how wide the mixes are.
 func (r *Runner) AloneCPI(id int) (float64, error) {
-	res, err := r.RunMix([]int{id}, PBaseline)
+	res, err := r.runMix([]int{id}, PBaseline)
 	if err != nil {
 		return 0, err
 	}
@@ -354,8 +378,11 @@ func (r *Runner) AloneCPI(id int) (float64, error) {
 }
 
 // AloneCPIs resolves alone CPIs for a whole mix, fanning the uncached
-// calibration runs out on the worker pool.
+// calibration runs out on the worker pool. The mix is widened to the
+// configured core count first, so the result aligns slot-for-slot with the
+// Cores returned by RunMix for the same mix.
 func (r *Runner) AloneCPIs(mix []int) ([]float64, error) {
+	mix = r.Cfg.extend(mix)
 	out := make([]float64, len(mix))
 	err := ForEach(len(mix), func(i int) error {
 		cpi, err := r.AloneCPI(mix[i])
@@ -369,8 +396,14 @@ func (r *Runner) AloneCPIs(mix []int) ([]float64, error) {
 }
 
 // RunMix runs a multiprogrammed mix under a registry policy (memoised —
-// callers share the returned Results and must not mutate them).
+// callers share the returned Results and must not mutate them). The mix is
+// widened to Config.Cores by cyclic replication first.
 func (r *Runner) RunMix(mix []int, id PolicyID) (cmp.Results, error) {
+	return r.runMix(r.Cfg.extend(mix), id)
+}
+
+// runMix is RunMix after widening (AloneCPI enters here to stay one-core).
+func (r *Runner) runMix(mix []int, id PolicyID) (cmp.Results, error) {
 	key := runKey{kind: "mix", name: workload.MixName(mix), policy: id}
 	return r.memo(key, func() (cmp.Results, error) {
 		gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
@@ -396,8 +429,9 @@ func (r *Runner) RunMix(mix []int, id PolicyID) (cmp.Results, error) {
 // multiprogrammed mix under a registry policy. Benchmarks and tests use it
 // to time or instrument the simulation itself, separately from workload and
 // system construction; unlike RunMix the result is caller-owned and never
-// memoised.
+// memoised. The mix is widened to Config.Cores like RunMix.
 func (r *Runner) NewMixSystem(mix []int, id PolicyID) (*cmp.System, error) {
+	mix = r.Cfg.extend(mix)
 	gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -428,8 +462,10 @@ func (r *Runner) RunMixWith(mix []int, pol coop.Policy) (cmp.Results, error) {
 	return r.simulate(sys), nil
 }
 
-// RunShared runs a mix on the shared-LLC machine of §6.1 (memoised).
+// RunShared runs a mix on the shared-LLC machine of §6.1 (memoised). The
+// mix is widened to Config.Cores like RunMix.
 func (r *Runner) RunShared(mix []int) (cmp.Results, error) {
+	mix = r.Cfg.extend(mix)
 	key := runKey{kind: "shared", name: workload.MixName(mix)}
 	return r.memo(key, func() (cmp.Results, error) {
 		gens, profs, err := workload.BuildMix(mix, r.Cfg.Seed, r.Cfg.Scale)

@@ -410,6 +410,23 @@ func TwoAppMixes() [][]int {
 	}
 }
 
+// ExtendMix replicates a mix cyclically to fill cores slots — the scaling
+// methodology for core counts beyond the paper's 4/8: a 4-app mix on a
+// 16-core machine runs four independent copies of each application, each in
+// its own address space (BuildMix derives per-slot seeds and address bases
+// from the slot index, so replicas never share a reference stream). When
+// cores does not exceed the mix, the mix is returned unchanged.
+func ExtendMix(ids []int, cores int) []int {
+	if cores <= len(ids) {
+		return ids
+	}
+	out := make([]int, cores)
+	for i := range out {
+		out[i] = ids[i%len(ids)]
+	}
+	return out
+}
+
 // CoreAddressBase returns the base address of core i's private address
 // space. 42-bit addresses; 64 GB spacing keeps all mixes disjoint.
 func CoreAddressBase(core int) uint64 { return uint64(core) << 36 }

@@ -4,8 +4,10 @@
 # the burst-engine A/B (run-to-event stepping vs the frozen per-reference
 # loop in internal/cmp/refstep_test.go), the batched below-L1 engine A/B
 # (on vs Params.NoL2Batch; add L2BATCH_EXPALL=1 for the full asccbench
-# -exp all wall-clock pairs, ~15 min) and the end-to-end simulator
-# benchmark, then writes BENCH_kernel.json with the headline numbers.
+# -exp all wall-clock pairs, ~15 min), the coherence-probe scaleout A/B
+# (broadcast scan vs set-sharded directory at 4/16/64 cores) and the
+# end-to-end simulator benchmark, then writes BENCH_kernel.json with the
+# headline numbers.
 # Usage: [L2BATCH_EXPALL=1] scripts/bench_kernel.sh [output.json]
 set -eu
 
@@ -84,6 +86,18 @@ if [ "${L2BATCH_EXPALL:-0}" = "1" ]; then
 		printf "\"expall_speedup_vs_unbatched\": %.3f\n", f / o
 	}' "$tmp/expall.txt" >"$tmp/expall.medians"
 fi
+
+echo "== scaleout: coherence probe, broadcast vs directory at 4/16/64 cores =="
+# The directory A/B (DESIGN.md 13): one HolderMask query — the primitive
+# under every miss, eviction and upgrade — against the O(cores) broadcast
+# scan it replaced, at each group width. Five rounds, per-cell medians. The
+# acceptance bar: the 64-core directory probe costs at most 2x the 4-core
+# broadcast scan (i.e. probe cost stays flat as the machine grows).
+: >"$tmp/scaleout.txt"
+for round in 1 2 3 4 5; do
+	$go test ./internal/cachesim -run '^$' -bench 'BenchmarkCoherenceProbe' \
+		-benchtime 2000000x | tee -a "$tmp/scaleout.txt"
+done
 
 echo "== end-to-end: 4-core AVGCC simulation (BenchmarkSimulatorThroughput) =="
 $go test . -run '^$' -bench 'BenchmarkSimulatorThroughput' \
@@ -183,6 +197,43 @@ END {
 }' "$tmp/l2batch.txt" >"$tmp/l2batch.json"
 
 awk '
+function median(a, n,    i, j, t) {
+	for (i = 2; i <= n; i++) {
+		t = a[i]
+		for (j = i - 1; j >= 1 && a[j] > t; j--) a[j+1] = a[j]
+		a[j+1] = t
+	}
+	if (n % 2) return a[(n+1)/2]
+	return (a[n/2] + a[n/2+1]) / 2
+}
+/BenchmarkCoherenceProbe\// {
+	split($1, parts, "/"); sub(/-[0-9]+$/, "", parts[2])
+	cell = parts[2]
+	v[cell, ++n[cell]] = $3
+}
+END {
+	printf "  \"scaleout\": {\n"
+	printf "    \"workload\": \"one HolderMask coherence probe over a 4096-block resident mix, per-cell medians\",\n"
+	printf "    \"rounds\": %d,\n", n["directory-64cores"]
+	first = 1
+	for (cores = 4; cores <= 64; cores *= 4) {
+		for (mi = 1; mi <= 2; mi++) {
+			mode = (mi == 1) ? "broadcast" : "directory"
+			cell = mode "-" cores "cores"
+			m = n[cell]
+			for (i = 1; i <= m; i++) tmp[i] = v[cell, i]
+			printf "    \"%s_%dcores_ns_per_probe\": %.2f,\n", mode, cores, median(tmp, m)
+		}
+	}
+	for (i = 1; i <= n["broadcast-4cores"]; i++) tmp[i] = v["broadcast-4cores", i]
+	b4 = median(tmp, n["broadcast-4cores"])
+	for (i = 1; i <= n["directory-64cores"]; i++) tmp[i] = v["directory-64cores", i]
+	d64 = median(tmp, n["directory-64cores"])
+	printf "    \"dir64_vs_broadcast4_ratio\": %.2f\n", d64 / b4
+	printf "  },\n"
+}' "$tmp/scaleout.txt" >"$tmp/scaleout.json"
+
+awk '
 /BenchmarkSimulatorThroughput/ {
 	ns=$3
 	for (i=1; i<=NF; i++) {
@@ -205,7 +256,7 @@ END {
 	echo '{'
 	echo '  "note": "generated by scripts/bench_kernel.sh (make bench-baseline); ref is the pre-rewrite kernel, kept verbatim as internal/cachesim/refmodel",'
 	printf '  "go": "%s",\n' "$($go env GOVERSION)"
-	cat "$tmp/kernel.json" "$tmp/stream.json" "$tmp/burst.json" "$tmp/l2batch.json" "$tmp/e2e.json"
+	cat "$tmp/kernel.json" "$tmp/stream.json" "$tmp/burst.json" "$tmp/l2batch.json" "$tmp/scaleout.json" "$tmp/e2e.json"
 	echo '}'
 } >"$out"
 
