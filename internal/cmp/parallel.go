@@ -35,11 +35,29 @@
 // Ownership protocol per slot (one slot per core), all transitions through
 // the atomic state word:
 //
-//	Idle -> Requested        main, at c's turn fold (basis fields written first)
+//	Idle -> Requested        main, at c's turn fold (basis fields written first,
+//	                         including the request generation)
 //	Requested -> Copying     worker, claiming the job poke
 //	Copying -> Done          worker, result written
 //	any -> Claimed           main, at c's next turn start (Swap)
-//	Claimed/aborted -> Idle  whoever lost the race, per the rules in specClaim
+//	Requested/Idle -> Idle   main, a claim that found no worker activity,
+//	                         or a withdrawn request
+//	Done -> Idle             main, after reading the result at claim time
+//	Claimed -> Idle          the worker, and ONLY the worker: a claim that
+//	                         catches a worker mid-copy or mid-burst leaves the
+//	                         slot Claimed, and the worker relinquishes it when
+//	                         its dead burst finishes. Main never resets a
+//	                         Claimed slot — a later claim that observes
+//	                         Claimed returns nil and leaves it alone — so the
+//	                         slot's clone/refs/res stay exclusively the
+//	                         zombie's until it stores Idle, and no new request
+//	                         can be issued over a still-running burst.
+//
+// Each request additionally carries a generation number (slot.gen, bumped by
+// main on every Idle -> Requested transition and echoed by the worker into
+// its result); the claim accepts a Done result only when the generations
+// match, so a result can never be adopted against a basis written by a
+// different request than the one that produced it.
 //
 // The only cross-goroutine data are the slot fields (ordered by the state
 // word's release/acquire transitions), the live L1 and batch contents (read
@@ -69,8 +87,8 @@ const (
 )
 
 // specResult is one speculative burst outcome: ReadBurst's return values,
-// the batch cursor after the burst, and the basis version the clone was
-// copied at.
+// the batch cursor after the burst, the basis version the clone was copied
+// at, and the generation of the request that produced it.
 type specResult struct {
 	ev      cachesim.BurstEvent
 	instr   uint64
@@ -81,6 +99,7 @@ type specResult struct {
 	write   bool
 	endPos  int
 	version uint64
+	gen     uint64
 }
 
 // specSlot is one core's speculation state.
@@ -98,7 +117,10 @@ type specSlot struct {
 	version uint64
 
 	// Request basis: written by main while the slot is Idle, published by
-	// the Idle -> Requested transition.
+	// the Idle -> Requested transition. gen is the request generation —
+	// bumped once per request, echoed by the worker into res.gen, and
+	// required to match at claim time (see the file comment).
+	gen   uint64
 	quota uint64
 	pos   int
 	nrefs int
@@ -192,17 +214,27 @@ func (e *specEngine) worker(s *System) {
 			sl.state.Store(specIdle)
 			continue
 		}
-		ver := sl.version
+		ver, gen := sl.version, sl.gen
 		sl.clone.CopyStateFrom(s.l1s[ci])
 		copy(sl.refs[sl.pos:sl.nrefs], s.batches[ci].Refs[sl.pos:sl.nrefs])
 		sl.mu.Unlock()
 		bt := trace.Batch{Refs: sl.refs[:sl.nrefs], Pos: sl.pos}
 		ev, instr, clock, hits, block, way, write := sl.clone.ReadBurst(
 			&bt, e.shift, sl.baseCPI, sl.quota, math.Inf(1), sl.instr, sl.clock)
-		sl.res = specResult{ev: ev, instr: instr, clock: clock, hits: hits,
-			block: block, way: way, write: write, endPos: bt.Pos, version: ver}
+		res := specResult{ev: ev, instr: instr, clock: clock, hits: hits,
+			block: block, way: way, write: write, endPos: bt.Pos,
+			version: ver, gen: gen}
+		if sl.state.Load() != specCopying {
+			// Claimed mid-burst; the result is dead. Don't publish it —
+			// the slot stayed Claimed the whole time we ran (main never
+			// resets a Claimed slot), so we still own the transition back
+			// to Idle, and only after it can main issue a new request.
+			sl.state.Store(specIdle)
+			continue
+		}
+		sl.res = res
 		if !sl.state.CompareAndSwap(specCopying, specDone) {
-			// Claimed mid-burst; the result is dead. Relinquish.
+			// Claimed between the check and the publish; same story.
 			sl.state.Store(specIdle)
 		}
 	}
@@ -230,17 +262,19 @@ func (s *System) specClaim(c int, quota uint64) *specResult {
 	}
 	switch sl.state.Swap(specClaimed) {
 	case specCopying:
-		// The worker is somewhere between its claim CAS and its result CAS.
+		// The worker is somewhere between its claim CAS and its publish.
 		// Fence on the copy mutex: either the copy already finished (the
-		// result dies at its version/basis check next claim), or the worker
-		// aborts at its in-mutex state check. Either way it no longer touches
-		// the live L1. The worker owns the transition back to Idle.
+		// worker sees Claimed at its pre-publish check and drops the dead
+		// result), or the worker aborts at its in-mutex state check. Either
+		// way it no longer touches the live L1. The slot stays Claimed and
+		// the worker owns the transition back to Idle — see specClaimed.
 		sl.mu.Lock()
 		sl.mu.Unlock() //nolint:staticcheck // empty critical section is the fence
 		return nil
 	case specDone:
 		res := &sl.res
-		ok := res.version == sl.version &&
+		ok := res.gen == sl.gen &&
+			res.version == sl.version &&
 			sl.instr == s.live[c].Instructions &&
 			sl.clock == s.clock[c] &&
 			sl.quota == quota
@@ -250,6 +284,15 @@ func (s *System) specClaim(c int, quota uint64) *specResult {
 			return nil
 		}
 		return res
+	case specClaimed:
+		// A worker caught mid-copy/mid-burst by an earlier claim is still
+		// finishing its dead burst on this slot's clone/refs. It owns the
+		// transition back to Idle; resetting the slot here would let main
+		// issue a new request over the still-running burst (a second worker
+		// would then clone into the same buffers the zombie is mutating).
+		// Leave the slot alone — speculation for c simply sits out until
+		// the zombie relinquishes.
+		return nil
 	default: // Idle (nothing requested) or Requested (no worker got to it)
 		sl.state.Store(specIdle)
 		return nil
@@ -265,6 +308,7 @@ func (s *System) specRequest(c int, quota, instr uint64, clock float64) {
 		return
 	}
 	bt := &s.batches[c]
+	sl.gen++
 	sl.quota = quota
 	sl.pos = bt.Pos
 	sl.nrefs = len(bt.Refs)

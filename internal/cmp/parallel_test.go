@@ -208,6 +208,57 @@ func TestParallelSpecCommits(t *testing.T) {
 	}
 }
 
+// TestSpecClaimZombieProtocol pins the slot state machine around a zombie
+// worker — one whose burst outlived the turn that claimed it mid-flight. The
+// claim must NOT reset a Claimed slot to Idle (the worker owns that
+// transition; resetting would let main re-request the slot and a second
+// worker clone into the buffers the zombie is still mutating), no request may
+// be issued while the zombie holds the slot, and a Done result is adoptable
+// only when its request generation matches the slot's.
+func TestSpecClaimZombieProtocol(t *testing.T) {
+	sys := parTestSystem(t, 2, 1)
+	sys.specStart()
+	defer sys.specStop()
+
+	// Core 0's slot is held by a zombie worker (claimed mid-copy/mid-burst
+	// on an earlier turn, burst still running).
+	sl := &sys.spec.slots[0]
+	sl.state.Store(specClaimed)
+	if res := sys.specClaim(0, 100); res != nil {
+		t.Fatal("claim returned a result from a zombie-owned slot")
+	}
+	if st := sl.state.Load(); st != specClaimed {
+		t.Fatalf("claim moved a zombie-owned slot to state %d; only the worker owns Claimed -> Idle", st)
+	}
+	sys.specRequest(0, 100, 0, 0)
+	if st := sl.state.Load(); st != specClaimed {
+		t.Fatalf("request issued over a zombie-owned slot (state %d)", st)
+	}
+
+	// Core 1 has a Done result whose basis matches the live core but whose
+	// generation is stale: it must be discarded. Bumping only the generation
+	// back into agreement makes the same result adoptable.
+	sl = &sys.spec.slots[1]
+	sl.gen = 7
+	sl.quota = 100
+	sl.instr = sys.live[1].Instructions
+	sl.clock = sys.clock[1]
+	sl.res = specResult{version: sl.version, gen: 6,
+		instr: sl.instr, clock: sl.clock}
+	sl.state.Store(specDone)
+	if res := sys.specClaim(1, 100); res != nil {
+		t.Fatal("claim adopted a result from a different request generation")
+	}
+	if st := sl.state.Load(); st != specIdle {
+		t.Fatalf("rejected claim left slot in state %d, want Idle", st)
+	}
+	sl.res.gen = 7
+	sl.state.Store(specDone)
+	if res := sys.specClaim(1, 100); res == nil {
+		t.Fatal("claim rejected a result whose generation and basis both match")
+	}
+}
+
 // TestValidateParallelParams pins the machine-description limits the new
 // flags introduce.
 func TestValidateParallelParams(t *testing.T) {

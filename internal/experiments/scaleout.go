@@ -22,6 +22,12 @@ var scaleoutCores = []int{4, 16, 32, 64}
 // width — the one number that is not — goes into Values ("wall_ms/16") so
 // EXPERIMENTS.md can quote it without perturbing golden CSVs.
 //
+// The sweep runs the widths one after another, NOT through harness.ForEach:
+// concurrent widths would time each other's contention on the shared worker
+// pool and the wall_ms figures would overstate per-width cost. (Under
+// `-exp all` sibling experiments still run concurrently; a dedicated
+// `-exp scaleout` invocation is the supported way to record clean timings.)
+//
 // Each width overrides Config.Cores for its own runs, so the experiment
 // sweeps the same widths no matter what -cores the suite was invoked with.
 func Scaleout(cfg harness.Config) (Result, error) {
@@ -34,7 +40,7 @@ func Scaleout(cfg harness.Config) (Result, error) {
 		wall   time.Duration
 	}
 	rows := make([]row, len(scaleoutCores))
-	if err := harness.ForEach(len(scaleoutCores), func(i int) error {
+	for i := range scaleoutCores {
 		c := cfg
 		c.Cores = scaleoutCores[i]
 		r := harness.SharedRunner(c)
@@ -42,7 +48,7 @@ func Scaleout(cfg harness.Config) (Result, error) {
 		// lives on the system, which the memoised path does not hand back.
 		sys, err := r.NewMixSystem(mix, harness.PAVGCC)
 		if err != nil {
-			return err
+			return Result{}, err
 		}
 		start := time.Now()
 		res := sys.Run(c.WarmupInstr, c.MeasureInstr)
@@ -60,9 +66,6 @@ func Scaleout(cfg harness.Config) (Result, error) {
 			probes: sys.CoherenceProbes(),
 			wall:   wall,
 		}
-		return nil
-	}); err != nil {
-		return Result{}, err
 	}
 
 	res := Result{ID: "scaleout"}
