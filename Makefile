@@ -7,7 +7,8 @@
 #   make fuzz           - bounded run of the differential fuzzers (packed
 #                         kernel vs reference model, ganged group vs
 #                         independent caches, directory vs broadcast vs
-#                         refmodel, trace arena codec round-trip)
+#                         refmodel, trace arena codec round-trip, persistent
+#                         arena-store file round-trip)
 #   make cover          - aggregate internal/... statement coverage with a
 #                         hard floor (scripts/cover.sh)
 #   make bench          - microbenchmarks for the hot simulator paths
@@ -15,10 +16,13 @@
 #   make bench-baseline - kernel + end-to-end throughput, recorded in
 #                         BENCH_kernel.json (packed kernel vs the frozen
 #                         reference kernel)
+#   make prewarm        - synthesise every experiment-suite stream into the
+#                         persistent arena store (~/.cache/ascc/arenas) so
+#                         later runs, sweeps and CI jobs replay from mmap
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz cover bench bench-baseline profile clean
+.PHONY: check build vet fmt test race fuzz cover bench bench-baseline profile prewarm clean
 
 check: build vet fmt test race fuzz
 
@@ -39,9 +43,11 @@ test:
 
 # The harness worker pool, the experiment fan-outs, the shared trace arenas
 # and the speculative in-run engine (cmp) are the concurrent code; -race
-# over just those keeps the gate fast.
+# over just those keeps the gate fast. The experiments differentials
+# (arena on/off plus store off/cold/warm, every id) outgrew go test's
+# default 10-minute ceiling under the race detector's slowdown.
 race:
-	$(GO) test -race ./internal/trace/... ./internal/harness/... ./internal/experiments/... ./internal/cmp/...
+	$(GO) test -race -timeout 30m ./internal/trace/... ./internal/harness/... ./internal/experiments/... ./internal/cmp/...
 
 # Differential smoke: the packed kernel against the reference model, and the
 # ganged tag slab against independent caches, each under ten seconds of
@@ -52,6 +58,7 @@ fuzz:
 	$(GO) test ./internal/cachesim -run '^$$' -fuzz FuzzGroupEquivalence -fuzztime 10s
 	$(GO) test ./internal/cachesim -run '^$$' -fuzz FuzzGroupProbe -fuzztime 10s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzRefCodec -fuzztime 10s
+	$(GO) test ./internal/trace/store -run '^$$' -fuzz FuzzStoreRoundTrip -fuzztime 10s
 	$(GO) test ./internal/cmp -run '^$$' -fuzz FuzzBurstEquivalence -fuzztime 10s
 	$(GO) test ./internal/cmp -run '^$$' -fuzz FuzzDirectoryEquivalence -fuzztime 10s
 
@@ -74,6 +81,12 @@ profile:
 
 bench-baseline:
 	GO="$(GO)" sh scripts/bench_kernel.sh BENCH_kernel.json
+
+# Fill the persistent arena store at the default configuration: every later
+# asccbench/test/CI run with -arena-store replays packed streams from mmap'd
+# files instead of re-synthesising them (DESIGN.md 14).
+prewarm:
+	$(GO) run ./cmd/asccbench -arena-store -prewarm
 
 clean:
 	$(GO) clean ./...

@@ -69,6 +69,41 @@ func TestReplaySteadyStateAllocations(t *testing.T) {
 	}
 }
 
+// TestStoreReplaySteadyStateAllocations pins the persistent-store replay
+// path to the same budget. One runner synthesises the mix streams and
+// flushes them to a store directory; a second runner (a "new process")
+// adopts the mmap'd chunk files directly as its arena chunk tables, so a
+// steady-state Run over the frozen prefix must cost no more than in-memory
+// replay — the mmap tier is free once adopted, not cheaper-but-allocating.
+func TestStoreReplaySteadyStateAllocations(t *testing.T) {
+	cfg := ascc.DefaultConfig()
+	cfg.ArenaStoreDir = t.TempDir()
+	mix := []int{445, 444, 456, 471}
+
+	warmRunner := ascc.NewRunner(cfg)
+	warm, err := warmRunner.NewMixSystem(mix, ascc.AVGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Run(1_000, 150_000) // extend the arenas well past the measured window
+	if err := warmRunner.FlushArenas(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := ascc.NewRunner(cfg).NewMixSystem(mix, ascc.AVGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1_000, 20_000)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		sys.Run(1_000, 20_000)
+	})
+	if allocs > 8 {
+		t.Errorf("store-replaying System.Run allocates %.0f times per run, budget is 8", allocs)
+	}
+}
+
 // TestGenericBurstSteadyStateAllocations pins the non-4-way burst kernel
 // (the generic packed/wide path) to the same budget. The default harness
 // machines all carry 4-way L1s, so without this test the generic kernel

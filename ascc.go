@@ -118,6 +118,12 @@ func NewRunner(cfg Config) *Runner { return harness.NewRunner(cfg) }
 // at every pool size.
 type Pool = harness.Pool
 
+// DefaultArenaStoreDir returns the conventional root of the persistent
+// arena store (~/.cache/ascc/arenas); set Config.ArenaStoreDir to it — or
+// any other directory — to replay packed workload streams across
+// processes instead of re-synthesising them (DESIGN.md §14).
+func DefaultArenaStoreDir() (string, error) { return harness.DefaultArenaStoreDir() }
+
 // NewPool builds a worker pool with n slots; n <= 0 uses all CPUs.
 func NewPool(n int) *Pool { return harness.NewPool(n) }
 

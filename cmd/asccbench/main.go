@@ -47,6 +47,8 @@ type options struct {
 	traces     string
 	traceCache bool
 	traceMB    int
+	storeDir   string // resolved -arena-store root; "" = store off
+	prewarm    bool
 	l2Batch    bool
 	cores      int
 	simPar     int
@@ -54,6 +56,41 @@ type options struct {
 	timing     bool
 	cpuprofile string
 	memprofile string
+}
+
+// storeFlag parses -arena-store[=dir]: the bare flag (or "on") resolves to
+// the conventional ~/.cache/ascc/arenas root, "off" (or "false"/"no"/"0")
+// disables the store, and anything else is taken as the store root itself.
+type storeFlag struct {
+	dir *string
+}
+
+func (s storeFlag) String() string {
+	if s.dir == nil {
+		return ""
+	}
+	return *s.dir
+}
+
+// IsBoolFlag lets plain `-arena-store` (no value) mean "on".
+func (s storeFlag) IsBoolFlag() bool { return true }
+
+func (s storeFlag) Set(v string) error {
+	switch strings.ToLower(v) {
+	case "off", "false", "no", "0":
+		*s.dir = ""
+		return nil
+	case "", "on", "true", "yes", "1":
+		dir, err := ascc.DefaultArenaStoreDir()
+		if err != nil {
+			return fmt.Errorf("resolving the default arena store root: %w (pass -arena-store=DIR explicitly)", err)
+		}
+		*s.dir = dir
+		return nil
+	default:
+		*s.dir = v
+		return nil
+	}
 }
 
 // validate rejects out-of-range values and flag combinations that would
@@ -109,6 +146,20 @@ func (o options) validate() error {
 	if o.simPar > 1 && !o.l2Batch {
 		return fmt.Errorf("-sim-parallel %d requires the batched engine (conflicts with -l2-batch=false)", o.simPar)
 	}
+	if o.storeDir != "" && !o.traceCache {
+		return fmt.Errorf("-arena-store persists the trace cache's arenas (conflicts with -trace-cache=false)")
+	}
+	if o.prewarm {
+		if !o.traceCache {
+			return fmt.Errorf("-prewarm fills the trace cache (conflicts with -trace-cache=false)")
+		}
+		if o.storeDir == "" {
+			return fmt.Errorf("-prewarm persists stream arenas, so it requires -arena-store (and conflicts with -arena-store=off)")
+		}
+		if o.exp != "" || o.mix != "" || o.traces != "" {
+			return fmt.Errorf("-prewarm builds arenas and exits (drop -exp/-mix/-trace; run them afterwards against the warm store)")
+		}
+	}
 	return nil
 }
 
@@ -120,6 +171,7 @@ func (o options) config() ascc.Config {
 	cfg.Parallel = o.parallel
 	cfg.TraceCache = o.traceCache
 	cfg.TraceCacheMB = o.traceMB
+	cfg.ArenaStoreDir = o.storeDir
 	cfg.NoL2Batch = !o.l2Batch
 	cfg.Cores = o.cores
 	cfg.SimParallel = o.simPar
@@ -154,6 +206,8 @@ func main() {
 	flag.StringVar(&o.traces, "trace", "", "comma-separated trace files (.trc binary or .csv), one per core, replayed under -policy")
 	flag.BoolVar(&o.traceCache, "trace-cache", true, "memoise each workload reference stream in a packed arena and replay it across policies (results are identical either way)")
 	flag.IntVar(&o.traceMB, "trace-cache-mb", 0, "trace cache memory budget in MiB before LRU eviction (0 = default budget; requires -trace-cache)")
+	flag.Var(storeFlag{&o.storeDir}, "arena-store", "persist packed stream arenas across processes: bare flag uses ~/.cache/ascc/arenas, =DIR overrides the root, =off disables (the default; results are identical cold or warm)")
+	flag.BoolVar(&o.prewarm, "prewarm", false, "synthesise and persist every stream arena the experiment suite uses, then exit (requires -arena-store; later runs replay instead of regenerating)")
 	flag.BoolVar(&o.l2Batch, "l2-batch", true, "resolve each turn's L2 misses through the batched below-L1 engine (results are bit-identical either way; -l2-batch=false is the per-reference A/B reference)")
 	flag.IntVar(&o.cores, "cores", 0, "widen every mix to this many cores by cyclic replication, max 64 (0 = each mix's natural width; single-app calibrations stay one-core)")
 	flag.IntVar(&o.simPar, "sim-parallel", 0, "speculative worker goroutines inside each simulation (0 or 1 = serial; results are bit-identical at every setting)")
@@ -177,7 +231,7 @@ func main() {
 		}
 		return
 	}
-	if o.traces == "" && o.mix == "" && o.exp == "" {
+	if o.traces == "" && o.mix == "" && o.exp == "" && !o.prewarm {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -222,33 +276,61 @@ func run(o options) error {
 	}
 	cfg := o.config()
 
-	switch {
-	case o.traces != "":
-		return timed(o, "trace replay", func() error {
-			return runTraces(cfg, o.traces, o.policy)
-		})
-	case o.mix != "" && o.seeds > 1:
-		return timed(o, "mix "+o.mix, func() error {
-			return runMixSeeds(cfg, o.mix, o.policy, o.seeds)
-		})
-	case o.mix != "":
-		return timed(o, "mix "+o.mix, func() error {
-			return runMix(cfg, o.mix, o.policy)
-		})
-	case o.exp == "all":
-		// One pool for the whole evaluation: experiments run one at a time
-		// (so tables stream in paper order) but fan their simulations out
-		// across the workers and share memoised baseline runs suite-wide.
-		cfg = cfg.WithPool(ascc.NewPool(cfg.Parallel))
-		for _, id := range ascc.ExperimentIDs() {
-			if err := runExperiment(cfg, id, o); err != nil {
-				return err
-			}
-		}
-		return nil
-	default:
-		return runExperiment(cfg, o.exp, o)
+	// One pool for the whole evaluation (-exp all) so experiments share
+	// memoised baselines suite-wide — and for any store-backed run, so the
+	// arenas every runner grew can be flushed to disk in one place after
+	// the work succeeds.
+	var pool *ascc.Pool
+	if o.exp == "all" || o.storeDir != "" {
+		pool = ascc.NewPool(cfg.Parallel)
+		cfg = cfg.WithPool(pool)
 	}
+
+	err := func() error {
+		switch {
+		case o.prewarm:
+			return timed(o, "prewarm", func() error {
+				n, err := ascc.NewRunner(cfg).PrewarmArenas()
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(o.timingWriter(), "prewarmed %d stream arenas into %s\n", n, o.storeDir)
+				return nil
+			})
+		case o.traces != "":
+			return timed(o, "trace replay", func() error {
+				return runTraces(cfg, o.traces, o.policy)
+			})
+		case o.mix != "" && o.seeds > 1:
+			return timed(o, "mix "+o.mix, func() error {
+				return runMixSeeds(cfg, o.mix, o.policy, o.seeds)
+			})
+		case o.mix != "":
+			return timed(o, "mix "+o.mix, func() error {
+				return runMix(cfg, o.mix, o.policy)
+			})
+		case o.exp == "all":
+			// Experiments run one at a time (so tables stream in paper
+			// order) but fan their simulations out across the workers.
+			for _, id := range ascc.ExperimentIDs() {
+				if err := runExperiment(cfg, id, o); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return runExperiment(cfg, o.exp, o)
+		}
+	}()
+	if err == nil && pool != nil {
+		// Write-behind: persist every stream arena this invocation grew,
+		// so the next process replays instead of regenerating. A no-op
+		// without -arena-store.
+		if ferr := pool.FlushArenas(); ferr != nil {
+			return fmt.Errorf("flushing the arena store: %w", ferr)
+		}
+	}
+	return err
 }
 
 // timingWriter is where -timing lines go: stdout in text mode, stderr when

@@ -55,6 +55,16 @@ func TestValidate(t *testing.T) {
 		{"sim-parallel without batch", func(o *options) { o.exp = "fig8"; o.simPar = 4; o.l2Batch = false }, "-sim-parallel"},
 		{"directory off ok", func(o *options) { o.exp = "all"; o.directory = false }, ""},
 		{"directory off with mix ok", func(o *options) { o.mix = "445+456"; o.directory = false }, ""},
+		{"arena store with exp ok", func(o *options) { o.exp = "all"; o.storeDir = "/tmp/arenas" }, ""},
+		{"arena store with mix ok", func(o *options) { o.mix = "445+456"; o.storeDir = "/tmp/arenas" }, ""},
+		{"arena store without cache", func(o *options) { o.exp = "fig8"; o.storeDir = "/tmp/arenas"; o.traceCache = false }, "-trace-cache=false"},
+		{"prewarm ok", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas" }, ""},
+		{"prewarm without store", func(o *options) { o.prewarm = true }, "-arena-store"},
+		{"prewarm without cache", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas"; o.traceCache = false }, "-trace-cache=false"},
+		{"prewarm with exp", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas"; o.exp = "fig8" }, "-prewarm"},
+		{"prewarm with mix", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas"; o.mix = "445+456" }, "-prewarm"},
+		{"prewarm with trace", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas"; o.traces = "a.trc" }, "-prewarm"},
+		{"prewarm with seeds", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas"; o.seeds = 3 }, "-seeds"},
 	}
 	for _, tc := range cases {
 		o := base()
@@ -132,6 +142,44 @@ func TestConfigScaleout(t *testing.T) {
 	}
 	if !cfg.NoDirectory {
 		t.Fatal("-directory=false did not propagate to the config")
+	}
+}
+
+// TestStoreFlag pins the -arena-store value grammar: bare/on resolves to
+// the conventional per-user root, off-ish spellings disable, anything else
+// is the root itself; and the resolved directory reaches the harness
+// configuration.
+func TestStoreFlag(t *testing.T) {
+	set := func(v string) (string, error) {
+		dir := "sentinel"
+		err := storeFlag{&dir}.Set(v)
+		return dir, err
+	}
+	for _, v := range []string{"off", "false", "no", "0", "OFF"} {
+		if dir, err := set(v); err != nil || dir != "" {
+			t.Errorf("Set(%q) = %q, %v; want store disabled", v, dir, err)
+		}
+	}
+	for _, v := range []string{"", "on", "true", "yes", "1"} {
+		dir, err := set(v)
+		if err != nil {
+			continue // no resolvable user cache dir on this host: error is the contract
+		}
+		if dir == "" || dir == "sentinel" {
+			t.Errorf("Set(%q) = %q; want the default store root", v, dir)
+		}
+	}
+	if dir, err := set("/data/arenas"); err != nil || dir != "/data/arenas" {
+		t.Errorf("Set(dir) = %q, %v; want the literal directory", dir, err)
+	}
+
+	o := base()
+	o.storeDir = "/data/arenas"
+	if got := o.config().ArenaStoreDir; got != "/data/arenas" {
+		t.Fatalf("-arena-store not propagated to the config: %q", got)
+	}
+	if got := base().config().ArenaStoreDir; got != "" {
+		t.Fatalf("store on by default: %q", got)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"ascc/internal/policies"
 	"ascc/internal/rng"
 	"ascc/internal/trace"
+	"ascc/internal/trace/store"
 	"ascc/internal/workload"
 )
 
@@ -53,6 +54,19 @@ type Config struct {
 	// budget is exceeded. 0 uses DefaultTraceCacheMB. Only meaningful when
 	// TraceCache is set.
 	TraceCacheMB int
+	// ArenaStoreDir, when non-empty, roots the persistent arena store
+	// (internal/trace/store, DESIGN.md §14) beneath the packed-stream
+	// cache: cache misses memory-map previously persisted streams instead
+	// of re-synthesising them, evictions write dirty arenas behind, and
+	// Runner/Pool.FlushArenas persists what a batch of runs grew — so
+	// arenas survive the process and every later run, sweep or CI job
+	// replays instead of regenerates. Empty keeps the cache purely
+	// in-memory (the default; DefaultArenaStoreDir returns the
+	// conventional root). Only meaningful when TraceCache is set; results
+	// are bit-identical with the store on, off, cold or warm. Runners
+	// sharing one pool share one store — the first store-carrying
+	// configuration fixes the directory.
+	ArenaStoreDir string
 	// NoL2Batch disables the batched below-L1 engine (cmp.Params.NoL2Batch,
 	// DESIGN.md §12): each L2 demand miss then resolves its coherence,
 	// queueing and policy work inline per reference. Results are
@@ -301,8 +315,40 @@ func newRunner(cfg Config, p *Pool) *Runner {
 	r := &Runner{Cfg: cfg, pool: p, runs: map[runKey]*inflight{}}
 	if cfg.TraceCache {
 		r.arenas = p.arenaCache(cfg.traceCacheBytes())
+		if cfg.ArenaStoreDir != "" {
+			r.arenas.SetStore(store.New(cfg.ArenaStoreDir))
+		}
 	}
 	return r
+}
+
+// DefaultArenaStoreDir returns the conventional persistent arena store
+// root, ~/.cache/ascc/arenas (platform equivalent via os.UserCacheDir).
+func DefaultArenaStoreDir() (string, error) { return store.DefaultDir() }
+
+// FlushArenas persists every cached stream arena that grew since its last
+// save to the configured persistent store. A no-op without a store (or
+// with the trace cache off); call it once after a batch of runs — the CLI
+// flushes per invocation — so later processes replay these streams
+// instead of re-synthesising them.
+func (r *Runner) FlushArenas() error {
+	if r.arenas == nil {
+		return nil
+	}
+	return r.arenas.FlushStore()
+}
+
+// FlushArenas persists the pool-wide stream cache to its persistent store
+// (see Runner.FlushArenas); a no-op when no store-carrying runner is
+// attached.
+func (p *Pool) FlushArenas() error {
+	p.arenaMu.Lock()
+	a := p.arenas
+	p.arenaMu.Unlock()
+	if a == nil {
+		return nil
+	}
+	return a.FlushStore()
 }
 
 // replayGens swaps each freshly built generator for an allocation-free
@@ -318,10 +364,16 @@ func (r *Runner) replayGens(kind string, gens []trace.Generator) []trace.Generat
 	}
 	out := make([]trace.Generator, len(gens))
 	for i, g := range gens {
-		key := fmt.Sprintf("%s/%d/%s/%d/%d", kind, i, g.Name(), r.Cfg.Seed, r.Cfg.Scale)
-		out[i] = r.arenas.Get(key, g).NewReplayer()
+		out[i] = r.arenas.Get(r.arenaKey(kind, i, g.Name()), g).NewReplayer()
 	}
 	return out
+}
+
+// arenaKey names the packed arena for one stream slot: the cache (and the
+// persistent store beneath it) rendezvous on this string, across runs and
+// across processes.
+func (r *Runner) arenaKey(kind string, slot int, name string) string {
+	return fmt.Sprintf("%s/%d/%s/%d/%d", kind, slot, name, r.Cfg.Seed, r.Cfg.Scale)
 }
 
 // memo returns the cached result for key, running f exactly once per key

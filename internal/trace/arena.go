@@ -86,14 +86,17 @@ type Arena struct {
 	nrefs  atomic.Uint64
 
 	// Writer state, guarded by mu: the source generator, its batch buffer,
-	// the writer's private word/ref counts (mirrors of nwords/nrefs) and
-	// the encoder's previous address.
+	// the writer's private word/ref counts (mirrors of nwords/nrefs), the
+	// encoder's previous address, and — for arenas adopted from the
+	// persistent store (AdoptFrozen) — the references the fresh generator
+	// must discard before live appending resumes.
 	mu      sync.Mutex
 	src     Generator
 	genBuf  []Ref
 	wwords  uint64
 	wrefs   uint64
 	encPrev uint64
+	skip    uint64
 }
 
 // NewArena wraps src as the single producer of a packed arena. The arena
@@ -132,6 +135,9 @@ func (a *Arena) Extend(minRefs uint64) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.skip > 0 {
+		a.fastForward()
+	}
 	for a.wrefs < minRefs {
 		a.src.NextBatch(a.genBuf)
 		for _, ref := range a.genBuf {
@@ -245,6 +251,21 @@ func (r *Replayer) NextBatch(buf []Ref) {
 	r.pos, r.prev, r.refPos = pos, prev, need
 }
 
+// ArenaStore is a persistent tier beneath an ArenaCache: chunk files keyed
+// by the cache's stream keys, surviving the process (see
+// internal/trace/store for the mmap-backed implementation). Load returns
+// the stored arena for key, or nil on any miss — absent file, corruption,
+// codec-version mismatch — in which case the cache falls back to live
+// synthesis; src is consumed by the returned arena exactly as NewArena
+// would, continuing the stream past the stored prefix. Save persists a's
+// current frozen prefix under key, atomically with respect to concurrent
+// readers in other processes. Implementations must be safe for concurrent
+// use.
+type ArenaStore interface {
+	Load(key string, src Generator) *Arena
+	Save(key string, a *Arena) error
+}
+
 // ArenaCache memoises arenas under a memory budget. Get is singleflight
 // per key: concurrent callers for the same stream share one arena (and
 // therefore one generation pass). When the packed bytes held by cached
@@ -252,11 +273,21 @@ func (r *Replayer) NextBatch(buf []Ref) {
 // first; replayers already holding an evicted arena keep working — eviction
 // only drops the cache's reference, so the next request for that stream
 // regenerates from scratch.
+//
+// With a persistent store attached (SetStore) the cache becomes the
+// in-memory tier of a two-level hierarchy: Get reads through to the store
+// on a memory miss, eviction writes a dirty arena behind before dropping
+// it, and FlushStore persists everything that grew since its last save —
+// so a later process replays the streams this one synthesised.
 type ArenaCache struct {
 	mu      sync.Mutex
 	max     int64
 	tick    uint64
 	entries map[string]*arenaCacheEntry
+	store   ArenaStore
+	// saved tracks, per key, the reference count already persisted, so
+	// flushes and eviction write-behinds only touch arenas that grew.
+	saved map[string]uint64
 }
 
 type arenaCacheEntry struct {
@@ -268,7 +299,58 @@ type arenaCacheEntry struct {
 // (enforced at acquisition time; an arena growing between acquisitions can
 // overshoot transiently). maxBytes <= 0 means unbounded.
 func NewArenaCache(maxBytes int64) *ArenaCache {
-	return &ArenaCache{max: maxBytes, entries: map[string]*arenaCacheEntry{}}
+	return &ArenaCache{max: maxBytes, entries: map[string]*arenaCacheEntry{}, saved: map[string]uint64{}}
+}
+
+// SetStore attaches a persistent tier. The first store wins: runners
+// sharing one pool-wide cache may race to attach (possibly with different
+// roots), and swapping stores mid-flight would split the dirty-tracking
+// state across directories. Attaching nil is a no-op.
+func (c *ArenaCache) SetStore(s ArenaStore) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.store == nil {
+		c.store = s
+	}
+}
+
+// Store returns the attached persistent tier, nil when none.
+func (c *ArenaCache) Store() ArenaStore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store
+}
+
+// FlushStore persists every cached arena whose frozen prefix grew since it
+// was last saved (write-behind). A no-op without a store. Call it when a
+// batch of runs completes — the CLI flushes once per invocation — rather
+// than per run: arenas extend lazily throughout a run, so flushing early
+// just rewrites files the next flush replaces. Returns the first save
+// error; later arenas are still attempted.
+func (c *ArenaCache) FlushStore() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.store == nil {
+		return nil
+	}
+	var first error
+	for key, e := range c.entries {
+		refs := e.a.Refs()
+		if refs <= c.saved[key] {
+			continue
+		}
+		if err := c.store.Save(key, e.a); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		c.saved[key] = refs
+	}
+	return first
 }
 
 // MaxBytes returns the current byte budget (<= 0 means unbounded).
@@ -299,14 +381,26 @@ func (c *ArenaCache) Raise(maxBytes int64) {
 // Get returns the arena cached under key, wrapping src into a new one on
 // miss. key must uniquely determine src's stream: two generators producing
 // different streams must never share a key. src is consumed only when the
-// key misses; on a hit it is simply discarded.
+// key misses; on a hit it is simply discarded. With a store attached, a
+// memory miss first reads through to the persistent tier — a stored arena
+// adopts its mapped prefix with zero decode, and src only synthesises
+// whatever a run demands beyond it.
 func (c *ArenaCache) Get(key string, src Generator) *Arena {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tick++
 	e, ok := c.entries[key]
 	if !ok {
-		e = &arenaCacheEntry{a: NewArena(src)}
+		var a *Arena
+		if c.store != nil {
+			if a = c.store.Load(key, src); a != nil {
+				c.saved[key] = a.Refs()
+			}
+		}
+		if a == nil {
+			a = NewArena(src)
+		}
+		e = &arenaCacheEntry{a: a}
 		c.entries[key] = e
 	}
 	e.lastUse = c.tick
@@ -315,8 +409,10 @@ func (c *ArenaCache) Get(key string, src Generator) *Arena {
 }
 
 // evict drops least-recently-used entries (never keep, which the caller is
-// about to use) until the cached packed bytes fit the budget. Called with
-// the lock held.
+// about to use) until the cached packed bytes fit the budget. With a store
+// attached, a dirty arena is written behind before it is dropped, so
+// eviction costs one file write instead of a future regeneration pass.
+// Called with the lock held.
 func (c *ArenaCache) evict(keep *arenaCacheEntry) {
 	if c.max <= 0 {
 		return
@@ -334,6 +430,13 @@ func (c *ArenaCache) evict(keep *arenaCacheEntry) {
 		}
 		if cold == nil {
 			return
+		}
+		if c.store != nil {
+			if refs := cold.a.Refs(); refs > c.saved[coldKey] {
+				if c.store.Save(coldKey, cold.a) == nil {
+					c.saved[coldKey] = refs
+				}
+			}
 		}
 		delete(c.entries, coldKey)
 	}

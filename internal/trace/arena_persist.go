@@ -1,0 +1,145 @@
+package trace
+
+// Persistence hooks for packed arenas (DESIGN.md §14).
+//
+// An Arena's packed words are what the persistent chunk-file store
+// (internal/trace/store) writes to disk and maps back in. The contract has
+// three parts:
+//
+//   - Snapshot streams a consistent frozen prefix out of a live arena (the
+//     write-behind half of the store tier);
+//   - AdoptFrozen rebuilds an arena directly over externally owned packed
+//     words — a read-only memory mapping — without decoding or copying
+//     anything but the partial tail chunk (the read-through half);
+//   - WalkPacked structurally validates an untrusted word stream before it
+//     is adopted, so a crafted or corrupted file can never push a replayer's
+//     cursor past the chunk table (the store pairs it with checksums).
+//
+// An adopted arena still extends on demand: its source generator is fresh
+// (position zero) while the frozen prefix already covers the first Refs()
+// references, so the first extension past the prefix fast-forwards the
+// generator — one synthesis pass over the prefix, paid only when a run
+// outruns what the store held, after which a flush ratchets the stored
+// prefix forward so no later process pays it again.
+
+import "unsafe"
+
+// PackCodecVersion identifies the packed-word reference codec (the
+// bit-layout documented above packGapBits). The persistent arena store
+// stamps it into every chunk file and rejects mismatches, so changing the
+// packing only requires bumping this constant — stale files then read as
+// misses and regenerate. The CI workflow's arena-store cache key mirrors
+// this value; keep them in step.
+const PackCodecVersion = 1
+
+// ArenaSnapshot describes the frozen prefix one Snapshot call streamed.
+type ArenaSnapshot struct {
+	Words    uint64 // packed words in the prefix
+	Refs     uint64 // whole references those words encode
+	LastAddr uint64 // encoder's address after the prefix (delta base of the next ref)
+}
+
+// Snapshot streams the packed words of the arena's frozen prefix to fn in
+// chunk-sized spans and returns the prefix's dimensions. It holds the
+// writer lock for the whole call, so the spans always form one consistent
+// prefix (words, reference count and encoder address agree) even while
+// concurrent replayers are waiting to extend; readers of the already
+// published prefix are unaffected. fn must not retain the spans.
+func (a *Arena) Snapshot(fn func(span []uint64) error) (ArenaSnapshot, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs := *a.chunks.Load()
+	rem := a.wwords
+	for ci := 0; rem > 0; ci++ {
+		n := uint64(arenaChunkWords)
+		if n > rem {
+			n = rem
+		}
+		if err := fn(cs[ci][:n]); err != nil {
+			return ArenaSnapshot{}, err
+		}
+		rem -= n
+	}
+	return ArenaSnapshot{Words: a.wwords, Refs: a.wrefs, LastAddr: a.encPrev}, nil
+}
+
+// AdoptFrozen builds an Arena whose frozen prefix aliases externally owned
+// packed words — typically a read-only memory mapping of a store chunk
+// file. Full chunks are adopted in place (zero copy, zero decode); only the
+// partial tail chunk is copied onto the heap so that future extension never
+// writes into the foreign memory, preserving the immutable-chunk-table
+// reader contract. words must stay valid and unmodified for the life of the
+// arena and every replayer over it, must be structurally valid (see
+// WalkPacked) and must encode exactly refs references ending at lastAddr —
+// the store validates all three before calling here. src continues the
+// stream past the prefix exactly as NewArena would, via the fast-forward
+// described in the package comment above.
+func AdoptFrozen(src Generator, words []uint64, refs, lastAddr uint64) *Arena {
+	a := &Arena{
+		name:    src.Name(),
+		src:     src,
+		genBuf:  make([]Ref, arenaGenBatch),
+		wwords:  uint64(len(words)),
+		wrefs:   refs,
+		encPrev: lastAddr,
+		skip:    refs,
+	}
+	full := len(words) >> arenaChunkShift
+	cs := make([]*arenaChunk, full, full+1)
+	for i := range cs {
+		cs[i] = (*arenaChunk)(unsafe.Pointer(&words[i<<arenaChunkShift]))
+	}
+	if rem := len(words) & arenaChunkMask; rem > 0 {
+		tail := new(arenaChunk)
+		copy(tail[:rem], words[full<<arenaChunkShift:])
+		cs = append(cs, tail)
+	}
+	a.chunks.Store(&cs)
+	a.nwords.Store(a.wwords)
+	a.nrefs.Store(a.wrefs)
+	return a
+}
+
+// fastForward discards the source generator's first skip references: the
+// arena's adopted prefix already encodes them, so the generator only has to
+// reach the position where live appending resumes. Writer-only (mu held);
+// runs at most once per adopted arena.
+func (a *Arena) fastForward() {
+	for a.skip > 0 {
+		n := uint64(len(a.genBuf))
+		if n > a.skip {
+			n = a.skip
+		}
+		a.src.NextBatch(a.genBuf[:n])
+		a.skip -= n
+	}
+}
+
+// WalkPacked scans a packed word stream exactly as a Replayer would decode
+// it, without materialising references: one word per packed reference,
+// three for an escape record (detected, like the decoder, by an all-ones
+// gap field). It returns the number of whole references the stream encodes
+// and the final decoded address, with ok=false when the stream is
+// structurally invalid — an escape record truncated by the end of the
+// stream, which would otherwise march a replayer's cursor past the words a
+// file actually holds. The store runs this over every candidate file before
+// adoption and cross-checks refs and lastAddr against the file header.
+func WalkPacked(words []uint64) (refs, lastAddr uint64, ok bool) {
+	var prev uint64
+	n := uint64(len(words))
+	for pos := uint64(0); pos < n; refs++ {
+		w := words[pos]
+		if (w>>1)&packGapMask == packGapMask {
+			if pos+3 > n {
+				return refs, prev, false
+			}
+			prev = words[pos+1]
+			pos += 3
+			continue
+		}
+		zz := w >> (packGapBits + 1)
+		prev += uint64(int64(zz>>1) ^ -int64(zz&1))
+		pos++
+	}
+	return refs, prev, true
+}

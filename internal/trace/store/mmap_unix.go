@@ -1,0 +1,20 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. The mapping outlives
+// the descriptor; release it with the returned unmap function once nothing
+// aliases the bytes. On failure the caller falls back to reading the file
+// onto the heap.
+func mmapFile(f *os.File, size int) ([]byte, func(), error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

@@ -4,11 +4,13 @@
 # the burst-engine A/B (run-to-event stepping vs the frozen per-reference
 # loop in internal/cmp/refstep_test.go), the batched below-L1 engine A/B
 # (on vs Params.NoL2Batch; add L2BATCH_EXPALL=1 for the full asccbench
-# -exp all wall-clock pairs, ~15 min), the coherence-probe scaleout A/B
-# (broadcast scan vs set-sharded directory at 4/16/64 cores) and the
-# end-to-end simulator benchmark, then writes BENCH_kernel.json with the
-# headline numbers.
-# Usage: [L2BATCH_EXPALL=1] scripts/bench_kernel.sh [output.json]
+# -exp all wall-clock pairs, ~15 min), the persistent arena-store A/B
+# (live stream synthesis vs mmap'd store replay; add STORE_EXPALL=1 for
+# interleaved cold-vs-warm asccbench -exp all wall-clock pairs with CSV
+# identity checks), the coherence-probe scaleout A/B (broadcast scan vs
+# set-sharded directory at 4/16/64 cores) and the end-to-end simulator
+# benchmark, then writes BENCH_kernel.json with the headline numbers.
+# Usage: [L2BATCH_EXPALL=1] [STORE_EXPALL=1] scripts/bench_kernel.sh [output.json]
 set -eu
 
 out=${1:-BENCH_kernel.json}
@@ -23,6 +25,14 @@ $go test ./internal/cachesim -run '^$' -bench 'BenchmarkKernelThroughput' \
 echo "== stream: live generation vs packed arena replay (internal/trace) =="
 $go test ./internal/trace -run '^$' -bench 'BenchmarkStreamThroughput' \
 	-benchtime 2s -benchmem | tee "$tmp/stream.txt"
+
+echo "== store: live synthesis vs persistent-store replay (internal/trace/store) =="
+# The arena-store A/B (DESIGN.md 14): live workload-model generation — the
+# cost every cold process pays per stream — against pure decode over a
+# store-loaded mmap'd arena, plus the load itself (open + map + checksum +
+# structural walk) amortised over the refs it unlocks.
+$go test ./internal/trace/store -run '^$' -bench 'BenchmarkStoreThroughput' \
+	-benchtime 2s -benchmem | tee "$tmp/store.txt"
 
 echo "== burst: run-to-event engine vs frozen per-ref stepping (internal/cmp) =="
 # The phase pair is the burst kernel's honest A/B: the live engine against
@@ -87,6 +97,54 @@ if [ "${L2BATCH_EXPALL:-0}" = "1" ]; then
 	}' "$tmp/expall.txt" >"$tmp/expall.medians"
 fi
 
+# Optional end-to-end wall-clock A/B for the persistent store: five
+# interleaved cold/warm `asccbench -exp all` pairs against a private store
+# root. Each round wipes the root, runs cold (write-behind populates it),
+# then warm (streams replay from mmap'd files), and requires the CSV
+# output of all runs — including a store-off reference — byte-identical.
+# The committed BENCH_kernel.json was generated with STORE_EXPALL=1.
+if [ "${STORE_EXPALL:-0}" = "1" ]; then
+	echo "== store: asccbench -exp all cold vs warm wall-clock pairs (STORE_EXPALL=1) =="
+	[ -x "$tmp/asccbench" ] || $go build -o "$tmp/asccbench" ./cmd/asccbench
+	storedir="$tmp/arena-store"
+	"$tmp/asccbench" -exp all -format csv >"$tmp/store-off.csv"
+	: >"$tmp/storepairs.txt"
+	for round in 1 2 3 4 5; do
+		for side in cold warm; do
+			[ "$side" = cold ] && rm -rf "$storedir"
+			t0=$(date +%s.%N)
+			"$tmp/asccbench" -exp all -format csv -arena-store="$storedir" >"$tmp/store-$side.csv"
+			t1=$(date +%s.%N)
+			awk -v s="$side" -v a="$t0" -v b="$t1" \
+				'BEGIN { printf "%s %.3f\n", s, b - a }' | tee -a "$tmp/storepairs.txt"
+			if ! cmp -s "$tmp/store-off.csv" "$tmp/store-$side.csv"; then
+				echo "FATAL: $side-store -exp all CSV diverged from store-off" >&2
+				exit 1
+			fi
+		done
+	done
+	awk '
+	function median(a, n,    i, j, t) {
+		for (i = 2; i <= n; i++) {
+			t = a[i]
+			for (j = i - 1; j >= 1 && a[j] > t; j--) a[j+1] = a[j]
+			a[j+1] = t
+		}
+		if (n % 2) return a[(n+1)/2]
+		return (a[n/2] + a[n/2+1]) / 2
+	}
+	$1 == "cold" { cold[++nc] = $2 }
+	$1 == "warm" { warm[++nw] = $2 }
+	END {
+		c = median(cold, nc); w = median(warm, nw)
+		printf "\"expall_pairs\": %d\n", nc
+		printf "\"expall_csv_identical\": true\n"
+		printf "\"expall_cold_s\": %.3f\n", c
+		printf "\"expall_warm_s\": %.3f\n", w
+		printf "\"expall_warm_speedup_vs_cold\": %.3f\n", c / w
+	}' "$tmp/storepairs.txt" >"$tmp/storeexpall.medians"
+fi
+
 echo "== scaleout: coherence probe, broadcast vs directory at 4/16/64 cores =="
 # The directory A/B (DESIGN.md 13): one HolderMask query — the primitive
 # under every miss, eviction and upgrade — against the O(cores) broadcast
@@ -140,6 +198,33 @@ END {
 	printf "    \"speedup_vs_live\": %.2f\n", lns / rns
 	printf "  },\n"
 }' "$tmp/stream.txt" >"$tmp/stream.json"
+
+awk -v expall="$tmp/storeexpall.medians" '
+/BenchmarkStoreThroughput\/live/ {
+	lns=$3
+	for (i=1; i<=NF; i++) if ($i=="refs/s") lrefs=$(i-1)
+}
+/BenchmarkStoreThroughput\/store-replay/ {
+	rns=$3
+	for (i=1; i<=NF; i++) {
+		if ($i=="refs/s") rrefs=$(i-1)
+		if ($i=="allocs/op") ral=$(i-1)
+	}
+}
+/BenchmarkStoreThroughput\/load/ {
+	for (i=1; i<=NF; i++) if ($i=="refs/s") ldrefs=$(i-1)
+}
+END {
+	printf "  \"store\": {\n"
+	printf "    \"stream\": \"composite Zipf+walk+hot mixture, 256-reference batches, 2M-ref mmap-backed store file\",\n"
+	printf "    \"live_refs_per_sec\": %s,\n", lrefs
+	printf "    \"store_replay_refs_per_sec\": %s,\n", rrefs
+	printf "    \"store_replay_allocs_per_op\": %s,\n", ral
+	printf "    \"load_validate_refs_per_sec\": %s,\n", ldrefs
+	printf "    \"speedup_vs_live\": %.2f", lns / rns
+	while ((getline line < expall) > 0) printf ",\n    %s", line
+	printf "\n  },\n"
+}' "$tmp/store.txt" >"$tmp/store.json"
 
 awk '
 function median(a, n,    i, j, t) {
@@ -256,7 +341,7 @@ END {
 	echo '{'
 	echo '  "note": "generated by scripts/bench_kernel.sh (make bench-baseline); ref is the pre-rewrite kernel, kept verbatim as internal/cachesim/refmodel",'
 	printf '  "go": "%s",\n' "$($go env GOVERSION)"
-	cat "$tmp/kernel.json" "$tmp/stream.json" "$tmp/burst.json" "$tmp/l2batch.json" "$tmp/scaleout.json" "$tmp/e2e.json"
+	cat "$tmp/kernel.json" "$tmp/stream.json" "$tmp/store.json" "$tmp/burst.json" "$tmp/l2batch.json" "$tmp/scaleout.json" "$tmp/e2e.json"
 	echo '}'
 } >"$out"
 
