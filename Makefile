@@ -13,6 +13,9 @@
 #                         hard floor (scripts/cover.sh)
 #   make bench          - microbenchmarks for the hot simulator paths
 #   make profile        - CPU + heap profile of a representative run
+#   make profile-diff   - paired CPU profiles of the fused engine vs the
+#                         per-reference descent, with a pprof diff of where
+#                         the absorption moved the cycles
 #   make bench-baseline - kernel + end-to-end throughput, recorded in
 #                         BENCH_kernel.json (packed kernel vs the frozen
 #                         reference kernel)
@@ -22,7 +25,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz cover bench bench-baseline profile prewarm clean
+.PHONY: check build vet fmt test race fuzz cover bench bench-baseline profile profile-diff prewarm clean
 
 check: build vet fmt test race fuzz
 
@@ -78,6 +81,11 @@ profile:
 	$(GO) run ./cmd/asccbench -mix 445+401+444+456 -policy AVGCC \
 		-cpuprofile asccbench-cpu.prof -memprofile asccbench-mem.prof >/dev/null
 	$(GO) tool pprof -top -nodecount 15 asccbench-cpu.prof
+
+# Paired engine profiles (fused vs refstep) over the same mix, then a pprof
+# diff showing where the fused absorption moved the cycles (DESIGN.md 15).
+profile-diff:
+	GO="$(GO)" sh scripts/profile_diff.sh
 
 bench-baseline:
 	GO="$(GO)" sh scripts/bench_kernel.sh BENCH_kernel.json

@@ -49,7 +49,7 @@ type options struct {
 	traceMB    int
 	storeDir   string // resolved -arena-store root; "" = store off
 	prewarm    bool
-	l2Batch    bool
+	engine     string
 	cores      int
 	simPar     int
 	directory  bool
@@ -143,8 +143,11 @@ func (o options) validate() error {
 	if o.simPar < 0 {
 		return fmt.Errorf("-sim-parallel must be >= 0 (got %d; 0 and 1 run each simulation serially)", o.simPar)
 	}
-	if o.simPar > 1 && !o.l2Batch {
-		return fmt.Errorf("-sim-parallel %d requires the batched engine (conflicts with -l2-batch=false)", o.simPar)
+	if _, err := ascc.ParseEngine(o.engine); err != nil {
+		return fmt.Errorf("-engine %s: want refstep (per-reference descent, the default), fused (absorb clean local L2 hits in-kernel; required by -sim-parallel) or batched (the demoted turn engine)", o.engine)
+	}
+	if o.simPar > 1 && o.engine != "fused" {
+		return fmt.Errorf("-sim-parallel %d requires the fused engine (conflicts with -engine %s)", o.simPar, o.engine)
 	}
 	if o.storeDir != "" && !o.traceCache {
 		return fmt.Errorf("-arena-store persists the trace cache's arenas (conflicts with -trace-cache=false)")
@@ -172,7 +175,7 @@ func (o options) config() ascc.Config {
 	cfg.TraceCache = o.traceCache
 	cfg.TraceCacheMB = o.traceMB
 	cfg.ArenaStoreDir = o.storeDir
-	cfg.NoL2Batch = !o.l2Batch
+	cfg.Engine, _ = ascc.ParseEngine(o.engine) // validated
 	cfg.Cores = o.cores
 	cfg.SimParallel = o.simPar
 	cfg.NoDirectory = !o.directory
@@ -208,7 +211,7 @@ func main() {
 	flag.IntVar(&o.traceMB, "trace-cache-mb", 0, "trace cache memory budget in MiB before LRU eviction (0 = default budget; requires -trace-cache)")
 	flag.Var(storeFlag{&o.storeDir}, "arena-store", "persist packed stream arenas across processes: bare flag uses ~/.cache/ascc/arenas, =DIR overrides the root, =off disables (the default; results are identical cold or warm)")
 	flag.BoolVar(&o.prewarm, "prewarm", false, "synthesise and persist every stream arena the experiment suite uses, then exit (requires -arena-store; later runs replay instead of regenerating)")
-	flag.BoolVar(&o.l2Batch, "l2-batch", true, "resolve each turn's L2 misses through the batched below-L1 engine (results are bit-identical either way; -l2-batch=false is the per-reference A/B reference)")
+	flag.StringVar(&o.engine, "engine", "refstep", "below-L1 stepping engine: refstep (one descent per L1 miss, the fastest measured and the default), fused (absorb clean local L2 hits in-kernel; required by -sim-parallel) or batched (the demoted turn engine; results are bit-identical across all three)")
 	flag.IntVar(&o.cores, "cores", 0, "widen every mix to this many cores by cyclic replication, max 64 (0 = each mix's natural width; single-app calibrations stay one-core)")
 	flag.IntVar(&o.simPar, "sim-parallel", 0, "speculative worker goroutines inside each simulation (0 or 1 = serial; results are bit-identical at every setting)")
 	flag.BoolVar(&o.directory, "directory", true, "answer coherence holder-mask queries from the set-sharded directory (results are bit-identical either way; -directory=false is the broadcast row-scan A/B reference)")

@@ -4,11 +4,13 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"ascc"
 )
 
 // base returns the options the flag defaults produce.
 func base() options {
-	return options{scale: 8, seeds: 1, policy: "AVGCC", format: "text", traceCache: true, l2Batch: true, directory: true}
+	return options{scale: 8, seeds: 1, policy: "AVGCC", format: "text", traceCache: true, engine: "refstep", directory: true}
 }
 
 func TestValidate(t *testing.T) {
@@ -40,7 +42,9 @@ func TestValidate(t *testing.T) {
 		{"policy with mix ok", func(o *options) { o.mix = "445+456"; o.policy = "ASCC"; o.policySet = true }, ""},
 		{"policy with trace ok", func(o *options) { o.traces = "a.trc"; o.policySet = true }, ""},
 		{"default policy with exp ok", func(o *options) { o.exp = "fig8" }, ""},
-		{"l2-batch off ok", func(o *options) { o.exp = "all"; o.l2Batch = false }, ""},
+		{"engine fused ok", func(o *options) { o.exp = "all"; o.engine = "fused" }, ""},
+		{"engine batched ok", func(o *options) { o.exp = "all"; o.engine = "batched" }, ""},
+		{"engine unknown", func(o *options) { o.exp = "fig8"; o.engine = "turbo" }, "-engine"},
 		{"timing with exp", func(o *options) { o.exp = "fig8"; o.timing = true }, ""},
 		{"timing with mix", func(o *options) { o.mix = "445+456"; o.timing = true }, ""},
 		{"timing with csv exp", func(o *options) { o.exp = "fig8"; o.format = "csv"; o.timing = true }, ""},
@@ -49,10 +53,11 @@ func TestValidate(t *testing.T) {
 		{"cores negative", func(o *options) { o.exp = "fig8"; o.cores = -4 }, "-cores"},
 		{"cores over mask", func(o *options) { o.exp = "fig8"; o.cores = 65 }, "-cores"},
 		{"cores with trace", func(o *options) { o.traces = "a.trc"; o.cores = 8 }, "-cores"},
-		{"sim-parallel ok", func(o *options) { o.exp = "all"; o.simPar = 4 }, ""},
+		{"sim-parallel ok", func(o *options) { o.exp = "all"; o.simPar = 4; o.engine = "fused" }, ""},
 		{"sim-parallel one ok", func(o *options) { o.exp = "fig8"; o.simPar = 1 }, ""},
 		{"sim-parallel negative", func(o *options) { o.exp = "fig8"; o.simPar = -1 }, "-sim-parallel"},
-		{"sim-parallel without batch", func(o *options) { o.exp = "fig8"; o.simPar = 4; o.l2Batch = false }, "-sim-parallel"},
+		{"sim-parallel non-fused engine", func(o *options) { o.exp = "fig8"; o.simPar = 4; o.engine = "refstep" }, "-sim-parallel"},
+		{"sim-parallel default engine", func(o *options) { o.exp = "fig8"; o.simPar = 4 }, "-sim-parallel"},
 		{"directory off ok", func(o *options) { o.exp = "all"; o.directory = false }, ""},
 		{"directory off with mix ok", func(o *options) { o.mix = "445+456"; o.directory = false }, ""},
 		{"arena store with exp ok", func(o *options) { o.exp = "all"; o.storeDir = "/tmp/arenas" }, ""},
@@ -111,16 +116,21 @@ func TestConfigBudgetRescale(t *testing.T) {
 	}
 }
 
-// TestConfigL2Batch pins the -l2-batch plumbing: the default (batching on)
-// leaves Config.NoL2Batch false, and -l2-batch=false sets it.
-func TestConfigL2Batch(t *testing.T) {
-	if base().config().NoL2Batch {
-		t.Fatal("default config disabled the batched engine")
+// TestConfigEngine pins the -engine plumbing: the default selects the
+// per-reference descent (the zero value, the fastest measured engine), and
+// the other engines propagate by name.
+func TestConfigEngine(t *testing.T) {
+	if got := base().config().Engine; got != ascc.EngineRefStep {
+		t.Fatalf("default config engine = %v, want refstep", got)
 	}
 	o := base()
-	o.l2Batch = false
-	if !o.config().NoL2Batch {
-		t.Fatal("-l2-batch=false did not propagate to the config")
+	o.engine = "fused"
+	if got := o.config().Engine; got != ascc.EngineFused {
+		t.Fatalf("-engine fused propagated as %v", got)
+	}
+	o.engine = "batched"
+	if got := o.config().Engine; got != ascc.EngineBatched {
+		t.Fatalf("-engine batched propagated as %v", got)
 	}
 }
 

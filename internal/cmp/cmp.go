@@ -46,13 +46,13 @@ type Params struct {
 	PrefetchEntries int
 	PrefetchDegree  int
 
-	// NoL2Batch disables the batched below-L1 engine (DESIGN.md §12) and
-	// steps the turn's L2 demand misses one fully-resolved descent at a
-	// time, exactly as before the batching rewrite. The zero value — the
-	// batched engine — is the default everywhere; results are bit-identical
-	// either way (FuzzBurstEquivalence holds all three engines together),
-	// so the flag exists for the honest A/B and as an escape hatch.
-	NoL2Batch bool
+	// Engine selects the below-L1 stepping engine. The zero value — the
+	// fused L1→L2 kernel (DESIGN.md §15) — is the default everywhere;
+	// results are bit-identical across all engines (FuzzBurstEquivalence
+	// holds them together against the frozen per-reference oracle), so the
+	// non-default engines exist for the honest A/Bs and as differential
+	// references.
+	Engine Engine
 
 	// NoDirectory disables the set-sharded coherence directory (DESIGN.md
 	// §13) and answers holder-mask queries with the broadcast row scan. The
@@ -65,9 +65,61 @@ type Params struct {
 	// SimParallel is the speculative-worker count for in-run core
 	// parallelism (parallel.go). 0 and 1 run the engine serially; larger
 	// values offload upcoming L1 bursts to that many goroutines. Results
-	// are bit-identical at any setting. Requires the batched engine
-	// (incompatible with NoL2Batch).
+	// are bit-identical at any setting. Requires the fused engine (the
+	// speculation protocol is spliced into its turn loop only).
 	SimParallel int
+}
+
+// Engine names a below-L1 stepping engine (Params.Engine).
+type Engine uint8
+
+const (
+	// EngineRefStep is the shipped default and the fastest measured engine
+	// (BENCH_kernel.json "burst"/"l1l2fused"): every L1 miss exits the
+	// run-to-event kernel and resolves as one fully-resolved descent
+	// (DESIGN.md §11-12). The all-scalar kernel exit is cheap enough that
+	// neither deferring the below-L1 work (EngineBatched) nor absorbing it
+	// in-kernel (EngineFused) beats it — see DESIGN.md §15's bound.
+	EngineRefStep Engine = iota
+	// EngineFused is the fused L1→L2 run-to-event kernel (DESIGN.md §15):
+	// cachesim.ReadBurstFused absorbs provably event-free clean local L2
+	// hits in-kernel and exits only at true events. Bit-identical to
+	// EngineRefStep; measured 0.85-0.96x on the scale-8 mixes (the
+	// absorber's probe duplicates the descent's on every refusal, and the
+	// exit it saves was already nearly free). Required by -sim-parallel —
+	// the speculation protocol is spliced into its turn loop — and kept
+	// selectable for absorption-heavy workloads.
+	EngineFused
+	// EngineBatched is the PR 6 batched turn engine (l2batch.go), demoted
+	// to a fuzz/differential reference after measuring 0.918-0.936x
+	// against EngineRefStep (BENCH_kernel.json "l2batch").
+	EngineBatched
+)
+
+// String names the engine (flag parsing round-trips through these).
+func (e Engine) String() string {
+	switch e {
+	case EngineFused:
+		return "fused"
+	case EngineRefStep:
+		return "refstep"
+	case EngineBatched:
+		return "batched"
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
+// ParseEngine maps a flag value to an Engine.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "fused":
+		return EngineFused, nil
+	case "refstep":
+		return EngineRefStep, nil
+	case "batched":
+		return EngineBatched, nil
+	}
+	return 0, fmt.Errorf("cmp: unknown engine %q (want fused, refstep or batched)", name)
 }
 
 // DefaultParams returns the paper's Table 2 machine with the geometry scale
@@ -102,8 +154,8 @@ func (p Params) Validate() error {
 	if p.SimParallel < 0 {
 		return fmt.Errorf("cmp: negative sim parallelism %d", p.SimParallel)
 	}
-	if p.SimParallel > 1 && p.NoL2Batch {
-		return fmt.Errorf("cmp: sim parallelism %d requires the batched engine (NoL2Batch set)", p.SimParallel)
+	if p.SimParallel > 1 && p.Engine != EngineFused {
+		return fmt.Errorf("cmp: sim parallelism %d requires the fused engine (Engine is %s)", p.SimParallel, p.Engine)
 	}
 	if err := p.L1.Validate(); err != nil {
 		return err
@@ -282,6 +334,12 @@ type System struct {
 	batcher  coop.AccessBatcher
 	deferPol bool
 
+	// Fused-engine state (fused.go). ab is the turn's kernel-side
+	// absorption scratch (reused, never reallocated); hitCost is the
+	// per-core precomputed L2LocalHitCycles*Overlap clock add.
+	ab      cachesim.L2Absorb
+	hitCost []float64
+
 	// spec is the speculative-burst engine (parallel.go), nil unless a
 	// phase has run with Params.SimParallel > 1.
 	spec *specEngine
@@ -345,6 +403,13 @@ func New(p Params, gens []trace.Generator, timing []CoreTiming, policy coop.Poli
 	s.deferPol = s.pf == nil && s.batcher != nil
 	s.polBuf = make([]uint32, 0, 64)
 	s.ops = make([]portOp, 0, 8)
+	// The absorbed-hit clock add, multiplied once per core outside the
+	// kernel: the same two float64 operands as the reference engines'
+	// per-access lat*Overlap, so the product is bit-identical.
+	s.hitCost = make([]float64, p.Cores)
+	for i := range s.hitCost {
+		s.hitCost[i] = p.L2LocalHitCycles * timing[i].Overlap
+	}
 	return s, nil
 }
 
@@ -382,19 +447,24 @@ func (s *System) Run(warmup, instrPerCore uint64) Results {
 	return res
 }
 
-// runPhase advances every core to the quota: the batched below-L1 engine
-// (l2batch.go) by default, the original one-descent-at-a-time stepping when
-// Params.NoL2Batch asks for the A/B baseline.
+// runPhase advances every core to the quota through the selected engine:
+// the fused L1→L2 kernel by default (speculatively parallel when
+// SimParallel asks for it, and falling back to the per-descent stepping
+// when a prefetcher is attached — prefetch trains on every demand access,
+// so nothing is absorbable), or one of the reference engines.
 func (s *System) runPhase(quota uint64) {
-	if s.p.NoL2Batch {
+	switch {
+	case s.p.Engine == EngineRefStep:
 		s.runPhaseNoBatch(quota)
-		return
-	}
-	if s.p.SimParallel > 1 {
+	case s.p.Engine == EngineBatched:
+		s.runPhaseBatched(quota)
+	case s.p.SimParallel > 1:
 		s.runPhaseParallel(quota)
-		return
+	case s.pf != nil:
+		s.runPhaseNoBatch(quota)
+	default:
+		s.runPhaseFused(quota)
 	}
-	s.runPhaseBatched(quota)
 }
 
 // runPhaseNoBatch advances every core to the quota, interleaving by local time.
@@ -419,9 +489,11 @@ func (s *System) runPhase(quota uint64) {
 // publish. The differential oracle for all of this is the frozen
 // per-reference loop in refstep_test.go (FuzzBurstEquivalence).
 //
-// This function is the NoL2Batch side of the below-L1 batching A/B
-// (DESIGN.md §12) and is kept verbatim: changing it would skew the recorded
-// on/off comparison.
+// This function is EngineRefStep: the per-descent side of the below-L1
+// engine A/Bs (DESIGN.md §§12, 15), kept verbatim — changing it would skew
+// the recorded comparisons. It also serves as the fused engine's fallback
+// when a prefetcher is attached (every demand access trains the prefetcher,
+// so no access is absorbable and the engines coincide).
 func (s *System) runPhaseNoBatch(quota uint64) {
 	n := s.p.Cores
 	shift := s.lineShift

@@ -1,0 +1,183 @@
+package cmp
+
+import (
+	"math"
+
+	"ascc/internal/cachesim"
+)
+
+// Fused L1→L2 run-to-event engine (DESIGN.md §15).
+//
+// runPhaseNoBatch's turn machinery — the frontier maintenance, the kernel
+// re-entry, the event switch, the CoreStats fold — costs a fixed amount per
+// kernel exit, and DESIGN.md §12's profile showed the exit rate is set by
+// the L1 miss rate (~1.2 references per burst at scale 8) while 88.9% of
+// those exits resolve as clean local L2 hits that mutate nothing outside
+// the stepping core's own slab segment and L1. This engine pushes exactly
+// that case into the kernel: cachesim.ReadBurstFused probes the local L2
+// segment on an L1 miss and, for a provably event-free clean hit, commits
+// the whole access in place and keeps consuming references, so the turn
+// machinery runs once per true event (local L2 miss, write upgrade, quota,
+// frontier, batch end) instead of once per L1 miss.
+//
+// Equivalence argument (why every engine stays bit-identical): an absorbed
+// access performs, in order, the same mutations the per-descent engine's
+// clean-hit path performs — the L2 set hit counter and SWAR MRU touch
+// (l2.Access), Reused, the write's Modified/Dirty transition, the L1 victim
+// fill (fillL1's Insert), one HitLat add to LatencySum and one HitCost add
+// to the clock (the same float operands in the same stream order, HitCost
+// being L2LocalHitCycles*Overlap multiplied once per core from the very
+// operands the reference multiplies per access) — and defers only the
+// policy's OnL2Access+Tick pair, which sees no cache state (the Policy
+// interface traffics in set indices and access numbers only). flushPolicy
+// replays the deferred pairs with their original access numbers before any
+// descent can read or advance policy state, so the policy observes the
+// exact call sequence of the reference engines. Non-absorbable accesses
+// (local L2 miss, write hit on a Shared line, prefetched line) leave the
+// kernel with zero L2 mutations and replay from scratch through l2Demand's
+// unchanged call sites — including the probe counters, so CoherenceProbes
+// agrees across engines too.
+//
+// The policy-event buffer piggybacks on the batched engine's polBuf/polBase
+// machinery: the kernel appends packed uint32(set)<<1|1 events, and the
+// engine records the access number preceding the buffer's first event when
+// the buffer transitions empty→non-empty (per-call bookkeeping below, since
+// the kernel batches the s.l2Accesses[c] advance into one fold).
+//
+// Measured honestly (BenchmarkPhaseFused vs BenchmarkPhaseBurst, the
+// l1l2fused block in BENCH_kernel.json), the absorption loses: 0.85-0.96x
+// of the per-reference descent on the scale-8 mixes. The turn overhead it
+// removes was already near-free — the kernel exchanges all-scalar state —
+// while tryAbsorb re-probes the L2 set the descent would probe anyway on
+// every refused access, and the deferral adds per-call buffer bookkeeping.
+// DESIGN.md §15 documents the profile-backed bound. The engine therefore
+// ships selectable (-engine fused) rather than default, and stays
+// load-bearing as the only engine whose event-aligned turns support the
+// -sim-parallel speculation protocol (parallel.go).
+func (s *System) runPhaseFused(quota uint64) {
+	n := s.p.Cores
+	shift := s.lineShift
+	front := s.front[:0]
+	for i := 0; i < n; i++ {
+		if s.done[i] {
+			continue
+		}
+		j := len(front)
+		front = append(front, int32(i))
+		for ; j > 0; j-- {
+			p := front[j-1]
+			if s.clock[p] < s.clock[i] || (s.clock[p] == s.clock[i] && p < int32(i)) {
+				break
+			}
+			front[j], front[j-1] = front[j-1], front[j]
+		}
+	}
+	ab := &s.ab
+	ab.HitLat = s.p.L2LocalHitCycles
+	for len(front) > 0 {
+		c := int(front[0])
+		second := math.Inf(1)
+		if len(front) > 1 {
+			second = s.clock[front[1]]
+		}
+		st := &s.live[c]
+		t := s.timing[c]
+		gen := s.gens[c]
+		bt := &s.batches[c]
+		l1 := s.l1s[c]
+		instr := st.Instructions
+		clock := s.clock[c]
+		ab.L2 = s.l2s[c]
+		ab.Bind()
+		ab.Owner = int16(c)
+		ab.HitCost = s.hitCost[c]
+		ab.LatencySum = st.LatencySum
+		var accesses, allHits, absorbed uint64
+		var ev cachesim.BurstEvent
+		var hits, block uint64
+		var way int
+		var write bool
+	stepping:
+		for {
+			polEmpty := len(s.polBuf) == 0
+			accBefore := s.l2Accesses[c]
+			ab.PolBuf = s.polBuf
+			ev, instr, clock, hits, block, way, write =
+				l1.ReadBurstFused(bt, shift, t.BaseCPI, quota, second, instr, clock, ab)
+			s.polBuf = ab.PolBuf
+			if a := ab.Absorbed; a != 0 {
+				ab.Absorbed = 0
+				// The kernel's absorbed accesses are L2 accesses
+				// accBefore+1 .. accBefore+a; their deferred events carry
+				// those numbers through polBase when they started the
+				// buffer.
+				s.l2Accesses[c] = accBefore + a
+				absorbed += a
+				if polEmpty {
+					s.polBase = accBefore
+				}
+			}
+			accesses += hits
+			allHits += hits
+			switch ev {
+			case cachesim.BurstBatchEnd:
+				bt.Refill(gen)
+				continue
+			case cachesim.BurstQuota, cachesim.BurstFrontier:
+				break stepping
+			case cachesim.BurstUpgrade:
+				// Store hit on a line whose inclusive L2 copy is not yet
+				// Modified: cache-state work only, no policy read — the
+				// deferred events stay buffered across it.
+				line := l1.Line(l1.SetIndex(block), way)
+				s.writeThroughHit(c, block)
+				line.State = cachesim.Modified
+			case cachesim.BurstMiss:
+				// Unabsorbable reference: the kernel left the L2 untouched,
+				// so the full descent replays the access at the reference
+				// engine's call sites. Deferred policy events flush first
+				// (l2Demand delivers its own event directly), and the
+				// LatencySum accumulator syncs through CoreStats around the
+				// descent so the adds stay in stream order.
+				accesses++
+				s.flushPolicy(c)
+				st.LatencySum = ab.LatencySum
+				s.clock[c] = clock
+				lat := s.l2Demand(c, block, write)
+				ab.LatencySum = st.LatencySum
+				clock += lat * t.Overlap
+				s.clock[c] = clock
+			}
+			if instr >= quota || clock >= second {
+				break stepping
+			}
+		}
+		s.flushPolicy(c)
+		st.Instructions = instr
+		st.L1Accesses += accesses + absorbed
+		st.L1Hits += allHits
+		st.L2Accesses += absorbed
+		st.L2LocalHits += absorbed
+		st.LatencySum = ab.LatencySum
+		st.Cycles = clock
+		s.clock[c] = clock
+		if instr >= quota {
+			s.frozen[c] = *st
+			s.done[c] = true
+			front = front[1:]
+			continue
+		}
+		j := 0
+		for j+1 < len(front) {
+			nx := front[j+1]
+			cv := s.clock[nx]
+			if cv < clock || (cv == clock && int(nx) < c) {
+				front[j] = nx
+				j++
+			} else {
+				break
+			}
+		}
+		front[j] = int32(c)
+	}
+}

@@ -11,22 +11,51 @@ import (
 )
 
 // FuzzBurstEquivalence drives a random machine and reference stream through
-// the live run-to-event engine (System.Run over cachesim.ReadBurst with the
-// batched below-L1 engine of l2batch.go), the same engine with batching off
-// (Params.NoL2Batch), and the frozen per-reference stepping (refRun,
-// refstep_test.go), then demands all three bit-identical: frozen CoreStats,
-// final core clocks, the complete L1 and L2 state (tags, line flags,
-// recency stacks, set counters) and the batch cursors. The decoded input
-// varies every event class the kernel can hit: quota and frontier cut
-// points (diverse BaseCPI), write-hit upgrades (random store bits over a
-// tiny block space), batch wrap-around (streams longer than the 64-ref
-// batch), both kernel paths (4-way specialized, non-4-way generic), and the
-// prefetcher (which disables the batched engine's policy-event deferral).
+// every below-L1 engine — the fused L1→L2 kernel (fused.go),
+// the same engine under speculative in-run parallelism (SimParallel from a
+// seed byte), the per-reference descent (EngineRefStep) and the batched
+// turn engine (EngineBatched) — and demands all of them bit-identical to
+// the frozen per-reference stepping (refRun, refstep_test.go): frozen
+// CoreStats, final core clocks, the complete L1 and L2 state (tags, line
+// flags, recency stacks, set counters) and the batch cursors. The decoded
+// input varies every event class the kernels can hit: quota and frontier
+// cut points (diverse BaseCPI), write-hit upgrades (random store bits over
+// a tiny block space, exercising the fused kernel's refusal of Shared-line
+// writes), clean-hit absorption runs (read-heavy streams over an
+// L1-thrashing L2-resident working set), batch wrap-around (streams longer
+// than the 64-ref batch), all kernel paths (4-way specialized, non-4-way
+// generic), and the prefetcher (under which the fused engine falls back to
+// the per-descent stepping and the batched engine disables policy-event
+// deferral).
 func FuzzBurstEquivalence(f *testing.F) {
 	f.Add([]byte("burst-kernel-seed"))
 	f.Add([]byte{3, 1, 1, 9, 1, 0x10, 2, 1, 0x31, 5, 0, 0x52, 7, 1})
 	f.Add([]byte{2, 0, 0, 200, 0, 0x21, 0, 0, 0x22, 1, 1, 0x23, 2, 0, 0x24, 3, 1})
 	f.Add([]byte{0, 1, 1, 4, 1, 0xFF, 0, 1})
+	// L2-hit-heavy: one core, specialized 4-way L1, a read-only cycle over
+	// 21 distinct blocks — far beyond the tiny L1 but L2-resident, so
+	// nearly every access is an absorbable clean local hit.
+	f.Add([]byte{
+		0, 1, 0, 120, 0,
+		0, 1, 0, 3, 1, 0, 6, 1, 0, 9, 1, 0, 12, 1, 0, 15, 1, 0, 18, 1, 0,
+		21, 1, 0, 24, 1, 0, 27, 1, 0, 30, 1, 0, 33, 1, 0, 36, 1, 0, 39, 1, 0,
+		42, 1, 0, 45, 1, 0, 48, 1, 0, 51, 1, 0, 54, 1, 0, 57, 1, 0, 60, 1, 0,
+	})
+	// Upgrade-heavy: two cores, every reference a store over overlapping
+	// blocks — Shared-line write hits (absorption refused, descent
+	// upgrades) and first-store L1 upgrades dominate.
+	f.Add([]byte{
+		1, 1, 1, 80, 16,
+		0, 1, 1, 8, 1, 1, 16, 1, 1, 24, 1, 1, 0, 2, 1, 8, 2, 1,
+		0, 1, 1, 8, 1, 1, 16, 1, 1, 24, 1, 1, 0, 2, 1, 16, 2, 1,
+	})
+	// Parallel widths: cores=3, SimParallel=3 (data[4] high bits), mixed
+	// read/write stream — the speculative fused engine against the oracle.
+	f.Add([]byte{
+		2, 1, 1, 60, 12,
+		5, 1, 0, 10, 1, 1, 15, 1, 0, 20, 1, 0, 25, 1, 1, 30, 1, 0,
+		35, 1, 0, 40, 1, 1, 45, 1, 0, 50, 1, 0, 55, 1, 1, 60, 1, 0,
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 8 {
 			t.Skip()
@@ -39,6 +68,7 @@ func FuzzBurstEquivalence(f *testing.F) {
 		if data[4]%2 == 1 {
 			warmup = quota / 3
 		}
+		simPar := int(data[4]>>2) % 4 // 0..3 speculative workers
 		p := tinyParams(cores)
 		p.L1 = cachesim.Config{SizeBytes: 32 * 2 * l1Ways, Ways: l1Ways, LineBytes: 32}
 		if data[4]&2 != 0 {
@@ -70,9 +100,10 @@ func FuzzBurstEquivalence(f *testing.F) {
 		for i := range timing {
 			timing[i] = CoreTiming{BaseCPI: 1 + float64((int(data[0])+i)%3)/2, Overlap: 0.5}
 		}
-		build := func(noBatch bool) *System {
+		build := func(engine Engine, simParallel int) *System {
 			pv := p
-			pv.NoL2Batch = noBatch
+			pv.Engine = engine
+			pv.SimParallel = simParallel
 			gens := make([]trace.Generator, cores)
 			for i := range gens {
 				gens[i] = script(i)
@@ -93,34 +124,39 @@ func FuzzBurstEquivalence(f *testing.F) {
 			return sys
 		}
 
-		live := build(false)
-		unbatched := build(true)
-		oracle := build(false)
-		gotRes := live.Run(warmup, quota)
-		unbRes := unbatched.Run(warmup, quota)
+		arms := []struct {
+			name string
+			sys  *System
+		}{
+			{"fused", build(EngineFused, 0)},
+			{"refstep", build(EngineRefStep, 0)},
+			{"batched", build(EngineBatched, 0)},
+		}
+		if simPar > 1 {
+			arms = append(arms, struct {
+				name string
+				sys  *System
+			}{"fused-parallel", build(EngineFused, simPar)})
+		}
+		oracle := build(EngineRefStep, 0)
 		wantRes := oracle.refRun(warmup, quota)
 
-		if !reflect.DeepEqual(gotRes, wantRes) {
-			t.Errorf("results diverge:\nburst: %+v\nper-ref: %+v", gotRes, wantRes)
-		}
-		if !reflect.DeepEqual(unbRes, wantRes) {
-			t.Errorf("results diverge:\nno-batch: %+v\nper-ref: %+v", unbRes, wantRes)
-		}
-		for i := 0; i < cores; i++ {
-			if live.clock[i] != oracle.clock[i] {
-				t.Errorf("core %d clock: burst %v, per-ref %v", i, live.clock[i], oracle.clock[i])
+		for _, arm := range arms {
+			gotRes := arm.sys.Run(warmup, quota)
+			if !reflect.DeepEqual(gotRes, wantRes) {
+				t.Errorf("results diverge:\n%s: %+v\nper-ref: %+v", arm.name, gotRes, wantRes)
 			}
-			if unbatched.clock[i] != oracle.clock[i] {
-				t.Errorf("core %d clock: no-batch %v, per-ref %v", i, unbatched.clock[i], oracle.clock[i])
+			for i := 0; i < cores; i++ {
+				if arm.sys.clock[i] != oracle.clock[i] {
+					t.Errorf("core %d clock: %s %v, per-ref %v", i, arm.name, arm.sys.clock[i], oracle.clock[i])
+				}
+				if arm.sys.batches[i].Pos != oracle.batches[i].Pos {
+					t.Errorf("core %d batch cursor: %s %d, per-ref %d",
+						i, arm.name, arm.sys.batches[i].Pos, oracle.batches[i].Pos)
+				}
+				compareCaches(t, "L1/"+arm.name, i, arm.sys.l1s[i], oracle.l1s[i])
+				compareCaches(t, "L2/"+arm.name, i, arm.sys.L2(i), oracle.L2(i))
 			}
-			if live.batches[i].Pos != oracle.batches[i].Pos {
-				t.Errorf("core %d batch cursor: burst %d, per-ref %d",
-					i, live.batches[i].Pos, oracle.batches[i].Pos)
-			}
-			compareCaches(t, "L1", i, live.l1s[i], oracle.l1s[i])
-			compareCaches(t, "L2", i, live.L2(i), oracle.L2(i))
-			compareCaches(t, "L1/no-batch", i, unbatched.l1s[i], oracle.l1s[i])
-			compareCaches(t, "L2/no-batch", i, unbatched.L2(i), oracle.L2(i))
 		}
 	})
 }

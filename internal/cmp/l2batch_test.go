@@ -12,15 +12,19 @@ import (
 	"ascc/internal/trace"
 )
 
-// buildPair constructs the same machine twice — batched engine and
-// NoL2Batch — with independent generator and policy instances.
+// buildPair constructs the same machine twice — the batched turn engine
+// and the per-reference EngineRefStep — with independent generator and
+// policy instances. Both are explicit (the default is the fused kernel):
+// this file pins the demoted batched engine against its original A/B side.
 func buildPair(t *testing.T, p Params, mkGens func() []trace.Generator,
 	timing []CoreTiming, mkPol func() coop.Policy) (batched, unbatched *System) {
 	t.Helper()
+	pb := p
+	pb.Engine = EngineBatched
 	pn := p
-	pn.NoL2Batch = true
+	pn.Engine = EngineRefStep
 	var err error
-	if batched, err = New(p, mkGens(), timing, mkPol()); err != nil {
+	if batched, err = New(pb, mkGens(), timing, mkPol()); err != nil {
 		t.Fatal(err)
 	}
 	if unbatched, err = New(pn, mkGens(), timing, mkPol()); err != nil {
@@ -229,12 +233,14 @@ func TestL2BatchPolicyCallSequence(t *testing.T) {
 		}
 	}
 	spyA, spyB := mkSpy(), mkSpy()
-	batched, err := New(p, mkGens(), evenTiming(2), spyA)
+	pb := p
+	pb.Engine = EngineBatched
+	batched, err := New(pb, mkGens(), evenTiming(2), spyA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pn := p
-	pn.NoL2Batch = true
+	pn.Engine = EngineRefStep
 	unbatched, err := New(pn, mkGens(), evenTiming(2), spyB)
 	if err != nil {
 		t.Fatal(err)

@@ -345,11 +345,26 @@ func (s *System) l1MutUnlock(p int) {
 	s.spec.slots[p].mu.Unlock()
 }
 
-// runPhaseParallel is runPhaseBatched with the speculation protocol spliced
+// runPhaseParallel is runPhaseFused with the speculation protocol spliced
 // in: claim-and-adopt at turn start, request at the fold. Everything else —
 // the frontier, the event switch, the turn fold — is identical, and the
-// adopted path reproduces exactly the state the live ReadBurst would have
+// adopted path reproduces exactly the state the live kernel would have
 // produced, so results are bit-identical to the serial engines.
+//
+// Speculation stays sound with in-kernel L2 absorption without any new
+// lock site. Workers read exactly two shared things: the stepping core's
+// L1 (cloned under the slot mutex, guarded by the version bumps at every
+// peer-L1 mutation site) and its decoded batch. The fused kernel's new
+// mutations — the local L2 segment's recency/state and the core's own L1
+// fill — are both invisible to workers: no worker ever reads L2 state
+// (speculative bursts run the plain L1-only kernel with a nil absorber),
+// and the core's own L1 only mutates during its own turn, when its slot is
+// Claimed and no worker can be copying it. A speculative burst therefore
+// still ends at the first L1 miss; when that miss would have been absorbed,
+// the adopted result's trailing BurstMiss resolves through the descent
+// below, which commits the identical state the in-kernel absorption would
+// have (the §15 per-access equivalence), and the loop re-enters the fused
+// kernel for the rest of the run.
 func (s *System) runPhaseParallel(quota uint64) {
 	s.specStart()
 	defer s.specStop()
@@ -400,8 +415,22 @@ func (s *System) runPhaseParallel(quota uint64) {
 		l1 := s.l1s[c]
 		instr := st.Instructions
 		clock := s.clock[c]
-		ta := turnAcc{latencySum: st.LatencySum, queueDelay: st.QueueDelay}
-		var accesses, allHits uint64
+		// With a prefetcher attached nothing is absorbable (prefetch trains
+		// on every demand access), so the kernel runs with a nil absorber
+		// and every L1 miss descends — the serial fused engine's own
+		// fallback, here inline so speculation still applies.
+		ab := &s.ab
+		if s.pf != nil {
+			ab = nil
+		} else {
+			ab.L2 = s.l2s[c]
+			ab.Bind()
+			ab.Owner = int16(c)
+			ab.HitLat = s.p.L2LocalHitCycles
+			ab.HitCost = s.hitCost[c]
+			ab.LatencySum = st.LatencySum
+		}
+		var accesses, allHits, absorbed uint64
 		var ev cachesim.BurstEvent
 		var hits, block uint64
 		var way int
@@ -413,8 +442,24 @@ func (s *System) runPhaseParallel(quota uint64) {
 					sp.ev, sp.instr, sp.clock, sp.hits, sp.block, sp.way, sp.write
 				sp = nil
 			} else {
+				polEmpty := len(s.polBuf) == 0
+				accBefore := s.l2Accesses[c]
+				if ab != nil {
+					ab.PolBuf = s.polBuf
+				}
 				ev, instr, clock, hits, block, way, write =
-					l1.ReadBurst(bt, shift, t.BaseCPI, quota, second, instr, clock)
+					l1.ReadBurstFused(bt, shift, t.BaseCPI, quota, second, instr, clock, ab)
+				if ab != nil {
+					s.polBuf = ab.PolBuf
+					if a := ab.Absorbed; a != 0 {
+						ab.Absorbed = 0
+						s.l2Accesses[c] = accBefore + a
+						absorbed += a
+						if polEmpty {
+							s.polBase = accBefore
+						}
+					}
+				}
 			}
 			accesses += hits
 			allHits += hits
@@ -430,8 +475,17 @@ func (s *System) runPhaseParallel(quota uint64) {
 				line.State = cachesim.Modified
 			case cachesim.BurstMiss:
 				accesses++
-				lat := s.l2DemandBatched(c, block, write, clock, &ta)
+				s.flushPolicy(c)
+				if ab != nil {
+					st.LatencySum = ab.LatencySum
+				}
+				s.clock[c] = clock
+				lat := s.l2Demand(c, block, write)
+				if ab != nil {
+					ab.LatencySum = st.LatencySum
+				}
 				clock += lat * t.Overlap
+				s.clock[c] = clock
 			}
 			if instr >= quota || clock >= second {
 				break stepping
@@ -439,15 +493,14 @@ func (s *System) runPhaseParallel(quota uint64) {
 		}
 		s.flushPolicy(c)
 		st.Instructions = instr
-		st.L1Accesses += accesses
+		st.L1Accesses += accesses + absorbed
 		st.L1Hits += allHits
+		st.L2Accesses += absorbed
+		st.L2LocalHits += absorbed
+		if ab != nil {
+			st.LatencySum = ab.LatencySum
+		}
 		st.Cycles = clock
-		st.L2Accesses += ta.l2Accesses
-		st.L2LocalHits += ta.localHits
-		st.L2RemoteHits += ta.remoteHits
-		st.L2MemFills += ta.memFills
-		st.LatencySum = ta.latencySum
-		st.QueueDelay = ta.queueDelay
 		s.clock[c] = clock
 		if instr >= quota {
 			s.frozen[c] = *st

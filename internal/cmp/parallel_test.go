@@ -109,6 +109,9 @@ func FuzzDirectoryEquivalence(f *testing.F) {
 			pv := p
 			pv.NoDirectory = noDir
 			pv.SimParallel = simParallel
+			if simParallel > 1 {
+				pv.Engine = EngineFused // the speculation protocol's required engine
+			}
 			return fuzzSystem(t, pv, body, cores, useASCC, timing)
 		}
 
@@ -155,6 +158,9 @@ func parTestSystem(t *testing.T, cores, simParallel int) *System {
 	t.Helper()
 	p := tinyParams(cores)
 	p.SimParallel = simParallel
+	if simParallel > 1 {
+		p.Engine = EngineFused // the speculation protocol's required engine
+	}
 	r := rng.New(0x5eed)
 	body := make([]byte, 3*cores*40)
 	for i := range body {
@@ -272,8 +278,9 @@ func TestValidateParallelParams(t *testing.T) {
 		{"max_cores", func(p *Params) { p.Cores = 64 }, true},
 		{"over_64_cores", func(p *Params) { p.Cores = 65 }, false},
 		{"negative_parallel", func(p *Params) { p.SimParallel = -1 }, false},
-		{"parallel_serial_engine", func(p *Params) { p.SimParallel = 4; p.NoL2Batch = true }, false},
-		{"parallel_batched", func(p *Params) { p.SimParallel = 4 }, true},
+		{"parallel_default_engine", func(p *Params) { p.SimParallel = 4 }, false},
+		{"parallel_batched_engine", func(p *Params) { p.SimParallel = 4; p.Engine = EngineBatched }, false},
+		{"parallel_fused_engine", func(p *Params) { p.SimParallel = 4; p.Engine = EngineFused }, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

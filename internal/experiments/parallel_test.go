@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"ascc/internal/cmp"
 )
 
 // TestByIDParallelDeterminism asserts that experiments render bit-identical
@@ -48,6 +50,9 @@ func TestSimParallelDeterminism(t *testing.T) {
 			cfg.WarmupInstr = 30_000
 			cfg.MeasureInstr = 80_000
 			cfg.SimParallel = par
+			if par > 1 {
+				cfg.Engine = cmp.EngineFused // -sim-parallel's required engine
+			}
 			res, err := ByID(cfg, id)
 			if err != nil {
 				t.Fatalf("%s sim-parallel %d: %v", id, par, err)

@@ -67,12 +67,14 @@ type Config struct {
 	// sharing one pool share one store — the first store-carrying
 	// configuration fixes the directory.
 	ArenaStoreDir string
-	// NoL2Batch disables the batched below-L1 engine (cmp.Params.NoL2Batch,
-	// DESIGN.md §12): each L2 demand miss then resolves its coherence,
-	// queueing and policy work inline per reference. Results are
-	// bit-identical either way; the toggle exists for A/B timing and as an
-	// escape hatch.
-	NoL2Batch bool
+	// Engine selects the below-L1 stepping engine (cmp.Params.Engine,
+	// DESIGN.md §§12, 15). The zero value is cmp.EngineRefStep, the
+	// per-reference descent — the fastest measured engine and the shipped
+	// default; cmp.EngineFused is the fused L1→L2 kernel (required by
+	// SimParallel), cmp.EngineBatched the demoted batched turn engine kept
+	// as a differential reference. Results are bit-identical across
+	// engines.
+	Engine cmp.Engine
 	// Cores, when non-zero, widens every mix run to that many cores by
 	// cyclic replication (workload.ExtendMix): a 4-app mix on Cores=16 runs
 	// four independent copies of each application. Zero keeps each mix's
@@ -154,7 +156,7 @@ func (c Config) params(cores int) cmp.Params {
 		p.L2.SizeBytes = c.L2SizeBytes / c.Scale
 	}
 	p.Prefetch = c.Prefetch
-	p.NoL2Batch = c.NoL2Batch
+	p.Engine = c.Engine
 	p.NoDirectory = c.NoDirectory
 	p.SimParallel = c.SimParallel
 	return p

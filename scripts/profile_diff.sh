@@ -1,0 +1,28 @@
+#!/bin/sh
+# Captures paired CPU profiles of the fused L1->L2 engine (the shipped
+# default) and the per-reference descent engine (-engine refstep) over the
+# identical 4-core AVGCC mix, then summarises where the cycles moved: the
+# per-engine hot-function tables plus a pprof diff of fused relative to
+# refstep (negative flat time = cycles the absorption removed). The numbers
+# back DESIGN.md 15's honest A/B analysis.
+# Usage: scripts/profile_diff.sh [outdir]   (or: make profile-diff)
+set -eu
+
+out=${1:-profile-diff}
+go=${GO:-go}
+mkdir -p "$out"
+mix="445+401+444+456"
+
+for engine in fused refstep; do
+	echo "== profiling -engine $engine =="
+	$go run ./cmd/asccbench -mix "$mix" -policy AVGCC -engine $engine \
+		-cpuprofile "$out/cpu-$engine.prof" >/dev/null
+done
+
+echo "== hot functions: fused =="
+$go tool pprof -top -nodecount 15 "$out/cpu-fused.prof"
+echo "== hot functions: refstep =="
+$go tool pprof -top -nodecount 15 "$out/cpu-refstep.prof"
+echo "== diff: fused relative to refstep (negative flat = cycles removed) =="
+$go tool pprof -top -nodecount 20 -diff_base "$out/cpu-refstep.prof" "$out/cpu-fused.prof"
+echo "profiles written to $out/"
