@@ -128,6 +128,70 @@ func TestStoreReplaySteadyStateAllocations(t *testing.T) {
 	}
 }
 
+// TestSampledReplaySteadyStateAllocations pins the set-sampled fast path
+// (DESIGN.md §16) to the same budget. The warm run filters the packed full
+// streams into cached sampled sub-arenas; a second System over the same mix
+// then replays the compact streams' frozen prefix, so its Run must be the
+// same pure decode loop as full-fidelity replay — the set-index translation
+// wrapper and the in-place batched-event remap must not allocate.
+func TestSampledReplaySteadyStateAllocations(t *testing.T) {
+	cfg := ascc.DefaultConfig()
+	cfg.SampleDen = 8
+	runner := ascc.NewRunner(cfg)
+	warm, err := runner.NewMixSystem([]int{445, 444, 456, 471}, ascc.AVGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Run(1_000, 150_000) // extend the sampled sub-arenas past the window
+
+	sys, err := runner.NewMixSystem([]int{445, 444, 456, 471}, ascc.AVGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1_000, 20_000)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		sys.Run(1_000, 20_000)
+	})
+	if allocs > 8 {
+		t.Errorf("sampled System.Run allocates %.0f times per run, budget is 8", allocs)
+	}
+}
+
+// TestSampledStoreReplaySteadyStateAllocations pins the sampled replay over
+// the persistent store tier: the filtered sub-arena is an ordinary arena to
+// the store, so a second runner adopting the flushed chunk files must replay
+// the compact stream at the in-memory budget too.
+func TestSampledStoreReplaySteadyStateAllocations(t *testing.T) {
+	cfg := ascc.DefaultConfig()
+	cfg.ArenaStoreDir = t.TempDir()
+	cfg.SampleDen = 8
+	mix := []int{445, 444, 456, 471}
+
+	warmRunner := ascc.NewRunner(cfg)
+	warm, err := warmRunner.NewMixSystem(mix, ascc.AVGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Run(1_000, 150_000)
+	if err := warmRunner.FlushArenas(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := ascc.NewRunner(cfg).NewMixSystem(mix, ascc.AVGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1_000, 20_000)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		sys.Run(1_000, 20_000)
+	})
+	if allocs > 8 {
+		t.Errorf("sampled store-replaying System.Run allocates %.0f times per run, budget is 8", allocs)
+	}
+}
+
 // TestGenericBurstSteadyStateAllocations pins the non-4-way burst kernel
 // (the generic packed/wide path, forced onto the fused engine so the
 // generic kernel's absorption branch is covered too) to the same budget.

@@ -38,6 +38,7 @@ import (
 	"ascc/internal/experiments"
 	"ascc/internal/harness"
 	"ascc/internal/metrics"
+	"ascc/internal/trace"
 	"ascc/internal/workload"
 )
 
@@ -76,6 +77,11 @@ const (
 // ParseEngine maps an engine name ("fused", "refstep", "batched") to its
 // Engine value — the asccbench -engine flag's parser.
 func ParseEngine(name string) (Engine, error) { return cmp.ParseEngine(name) }
+
+// ParseSampleRatio maps a set-sampling ratio ("1/8", "off", "") to the
+// denominator for Config.SampleDen (0 = full fidelity) — the asccbench
+// -sample flag's parser. See DESIGN.md §16.
+func ParseSampleRatio(v string) (int, error) { return trace.ParseSampleRatio(v) }
 
 // Policy identifies one of the reproduced cache-management designs.
 type Policy = harness.PolicyID

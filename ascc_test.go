@@ -130,8 +130,8 @@ func TestStorageCostAPI(t *testing.T) {
 
 func TestExperimentIDsResolve(t *testing.T) {
 	ids := ascc.ExperimentIDs()
-	if len(ids) != 20 {
-		t.Fatalf("%d experiment ids, want 20", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("%d experiment ids, want 21", len(ids))
 	}
 	if _, err := ascc.RunExperiment(tinyConfig(), "nope"); err == nil {
 		t.Fatal("unknown experiment accepted")

@@ -163,6 +163,43 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(blocks)/b.Elapsed().Seconds(), "blocks/s")
 }
 
+// BenchmarkSampledThroughput is BenchmarkSimulatorThroughput on the
+// set-sampled fast path (DESIGN.md §16, -sample 1/8): same mix, same
+// instruction budget, 1/8 of the LLC sets on pre-filtered streams. instr/s
+// counts retired (full-stream) instructions, so the ratio to the full
+// benchmark is the fast path's end-to-end speedup; blocks/s stays raw to
+// show the actual simulated reference rate.
+func BenchmarkSampledThroughput(b *testing.B) {
+	cfg := benchConfig()
+	cfg.WarmupInstr = 0
+	cfg.MeasureInstr = 1_000_000
+	cfg.SampleDen = 8
+	mix := []int{445, 444, 456, 471}
+	runner := ascc.NewRunner(cfg)
+	b.ResetTimer()
+	var instr, blocks uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := runner.NewMixSystem(mix, ascc.AVGCC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res := sys.Run(cfg.WarmupInstr, cfg.MeasureInstr)
+		for _, c := range res.Cores {
+			instr += c.Instructions
+			blocks += c.L1Accesses
+		}
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+	b.ReportMetric(float64(blocks)/b.Elapsed().Seconds(), "blocks/s")
+}
+
+// BenchmarkSampling regenerates the set-sampling accuracy table.
+func BenchmarkSampling(b *testing.B) {
+	runExperiment(b, "sampling")
+}
+
 // BenchmarkAblation regenerates the design-choice ablation study
 // (DESIGN.md §6).
 func BenchmarkAblation(b *testing.B) {

@@ -53,6 +53,7 @@ type options struct {
 	cores      int
 	simPar     int
 	directory  bool
+	sample     string
 	timing     bool
 	cpuprofile string
 	memprofile string
@@ -152,6 +153,24 @@ func (o options) validate() error {
 	if o.storeDir != "" && !o.traceCache {
 		return fmt.Errorf("-arena-store persists the trace cache's arenas (conflicts with -trace-cache=false)")
 	}
+	den, err := ascc.ParseSampleRatio(o.sample)
+	if err != nil {
+		return fmt.Errorf("-sample %s: want 1/N (e.g. 1/8) or off", o.sample)
+	}
+	if den > 1 {
+		if o.traces != "" {
+			return fmt.Errorf("-sample does not apply to -trace replays (external traces are not re-synthesisable, so filtered variants would shadow the real stream)")
+		}
+		if o.prewarm {
+			return fmt.Errorf("-prewarm synthesises the full-fidelity arenas; drop -sample (sampled sub-arenas are derived from them on first use)")
+		}
+		if o.exp == "prefetch" {
+			return fmt.Errorf("-sample is incompatible with the prefetch experiment (the stride prefetcher crosses set boundaries)")
+		}
+		if o.exp == "sampling" {
+			return fmt.Errorf("-exp sampling measures the fast path's accuracy itself and controls -sample internally")
+		}
+	}
 	if o.prewarm {
 		if !o.traceCache {
 			return fmt.Errorf("-prewarm fills the trace cache (conflicts with -trace-cache=false)")
@@ -179,6 +198,7 @@ func (o options) config() ascc.Config {
 	cfg.Cores = o.cores
 	cfg.SimParallel = o.simPar
 	cfg.NoDirectory = !o.directory
+	cfg.SampleDen, _ = ascc.ParseSampleRatio(o.sample) // validated
 	if o.scale != 8 {
 		// Scale the default budgets so reuse cycles complete (DESIGN.md §5).
 		cfg.WarmupInstr = cfg.WarmupInstr * 8 / uint64(o.scale)
@@ -214,6 +234,7 @@ func main() {
 	flag.StringVar(&o.engine, "engine", "refstep", "below-L1 stepping engine: refstep (one descent per L1 miss, the fastest measured and the default), fused (absorb clean local L2 hits in-kernel; required by -sim-parallel) or batched (the demoted turn engine; results are bit-identical across all three)")
 	flag.IntVar(&o.cores, "cores", 0, "widen every mix to this many cores by cyclic replication, max 64 (0 = each mix's natural width; single-app calibrations stay one-core)")
 	flag.IntVar(&o.simPar, "sim-parallel", 0, "speculative worker goroutines inside each simulation (0 or 1 = serial; results are bit-identical at every setting)")
+	flag.StringVar(&o.sample, "sample", "off", "set-sampled fast-path ratio: 1/N simulates a deterministic 1/N subset of the LLC sets (always including the policies' leader sets) on pre-filtered streams, off (the default) runs full fidelity; single-core per-set behaviour is exact, multi-core results are close estimates (DESIGN.md §16)")
 	flag.BoolVar(&o.directory, "directory", true, "answer coherence holder-mask queries from the set-sharded directory (results are bit-identical either way; -directory=false is the broadcast row-scan A/B reference)")
 	flag.BoolVar(&o.timing, "timing", false, "print wall-clock after each experiment table or ad-hoc run (to stderr under -format csv/json so the stream stays parseable)")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")

@@ -70,6 +70,19 @@ func TestValidate(t *testing.T) {
 		{"prewarm with mix", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas"; o.mix = "445+456" }, "-prewarm"},
 		{"prewarm with trace", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas"; o.traces = "a.trc" }, "-prewarm"},
 		{"prewarm with seeds", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas"; o.seeds = 3 }, "-seeds"},
+		{"sample exp ok", func(o *options) { o.exp = "all"; o.sample = "1/8" }, ""},
+		{"sample mix ok", func(o *options) { o.mix = "445+456"; o.sample = "1/16" }, ""},
+		{"sample off ok", func(o *options) { o.exp = "fig8"; o.sample = "off" }, ""},
+		{"sample with engine ok", func(o *options) { o.exp = "all"; o.sample = "1/8"; o.engine = "fused" }, ""},
+		{"sample with sim-parallel ok", func(o *options) { o.exp = "all"; o.sample = "1/8"; o.engine = "fused"; o.simPar = 4 }, ""},
+		{"sample with store ok", func(o *options) { o.exp = "all"; o.sample = "1/8"; o.storeDir = "/tmp/arenas" }, ""},
+		{"sample bad grammar", func(o *options) { o.exp = "fig8"; o.sample = "8" }, "-sample"},
+		{"sample 1/1", func(o *options) { o.exp = "fig8"; o.sample = "1/1" }, "-sample"},
+		{"sample 2/8", func(o *options) { o.exp = "fig8"; o.sample = "2/8" }, "-sample"},
+		{"sample with trace", func(o *options) { o.traces = "a.trc"; o.sample = "1/8" }, "-sample"},
+		{"sample with prewarm", func(o *options) { o.prewarm = true; o.storeDir = "/tmp/arenas"; o.sample = "1/8" }, "-prewarm"},
+		{"sample with exp prefetch", func(o *options) { o.exp = "prefetch"; o.sample = "1/8" }, "prefetch"},
+		{"sample with exp sampling", func(o *options) { o.exp = "sampling"; o.sample = "1/8" }, "-exp sampling"},
 	}
 	for _, tc := range cases {
 		o := base()
@@ -152,6 +165,23 @@ func TestConfigScaleout(t *testing.T) {
 	}
 	if !cfg.NoDirectory {
 		t.Fatal("-directory=false did not propagate to the config")
+	}
+}
+
+// TestConfigSample pins the -sample plumbing: the validated ratio reaches
+// Config.SampleDen, and the default stays full fidelity.
+func TestConfigSample(t *testing.T) {
+	if got := base().config().SampleDen; got != 0 {
+		t.Fatalf("default config SampleDen = %d, want 0 (full fidelity)", got)
+	}
+	o := base()
+	o.sample = "1/8"
+	if got := o.config().SampleDen; got != 8 {
+		t.Fatalf("-sample 1/8 propagated as SampleDen %d", got)
+	}
+	o.sample = "off"
+	if got := o.config().SampleDen; got != 0 {
+		t.Fatalf("-sample off propagated as SampleDen %d", got)
 	}
 }
 

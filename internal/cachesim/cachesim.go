@@ -156,6 +156,30 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// SampledConfig compacts a geometry to the 1/den set sample of DESIGN.md
+// §16: same line size, same associativity, 1/den of the sets — so the tag
+// slab, recency nibbles, per-set stats and (through NewGroup) the directory
+// shards allocate only the sampled sets. den must be a power of two dividing
+// the set count; fully-associative caches have a single set and cannot be
+// sampled.
+func SampledConfig(c Config, den int) (Config, error) {
+	if den <= 1 {
+		return c, nil
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	if c.FullyAssoc {
+		return Config{}, fmt.Errorf("cachesim: cannot set-sample a fully associative cache")
+	}
+	sets := c.SizeBytes / c.LineBytes / c.Ways
+	if sets%den != 0 {
+		return Config{}, fmt.Errorf("cachesim: sample 1/%d does not divide %d sets", den, sets)
+	}
+	c.SizeBytes /= den
+	return c, nil
+}
+
 // SetStats accumulates per-set demand statistics; the harness uses them for
 // the paper's Figure 2 favored/constant classification.
 type SetStats struct {
@@ -208,10 +232,11 @@ type Cache struct {
 	unusedMask uint64
 	fullMask   uint64 // low `ways` bits: the all-valid metadata word
 
-	// wide is the fallback recency representation for sets wider than
-	// packedMaxWays (the fully associative study caches): explicit per-set
-	// stacks, stack[0] = MRU way. nil when the packed kernel is active.
-	wide [][]int
+	// wide is the fallback structure for sets wider than packedMaxWays (the
+	// fully associative study caches): a tag index plus intrusive recency
+	// lists keep every hot operation O(1) where the packed nibble word
+	// cannot apply (see wide.go). nil when the packed kernel is active.
+	wide *wideState
 
 	// shared marks a cache whose slabs are slices of a caller-owned (ganged)
 	// slab rather than private allocations.
@@ -298,15 +323,7 @@ func newCache(cfg Config, stride int, tags []uint64, lines []Line) *Cache {
 			c.meta[i].order = o
 		}
 	} else {
-		backing := make([]int, numSets*enabled)
-		c.wide = make([][]int, numSets)
-		for i := range c.wide {
-			st := backing[i*enabled : (i+1)*enabled : (i+1)*enabled]
-			for w := range st {
-				st[w] = w
-			}
-			c.wide[i] = st
-		}
+		c.wide = newWideState(numSets, enabled, numSets*enabled)
 	}
 	return c
 }
@@ -378,11 +395,10 @@ func (c *Cache) probe(si int, block uint64) int {
 		}
 		return bits.TrailingZeros64(m)
 	}
-	t := c.tags[base : base+c.ways : base+c.ways]
-	ls := c.lines[base : base+c.ways : base+c.ways]
-	for w := range t {
-		if ls[w].State != Invalid && t[w] == block {
-			return w
+	if w, ok := c.wide.idx[block]; ok {
+		idx := base + int(w)
+		if c.lines[idx].State != Invalid && c.tags[idx] == block {
+			return int(w)
 		}
 	}
 	return -1
@@ -457,15 +473,7 @@ func (c *Cache) touch(setIdx, way int) {
 		c.meta[setIdx].order = o&hi | (o&low)<<4 | uint64(way)
 		return
 	}
-	s := c.wide[setIdx]
-	for i, w := range s {
-		if w == way {
-			copy(s[1:i+1], s[:i])
-			s[0] = way
-			return
-		}
-	}
-	panic(fmt.Sprintf("cachesim: way %d not in recency stack of set %d", way, setIdx))
+	c.wideTouch(setIdx, way)
 }
 
 // nibblePos returns the rank whose nibble in order word o equals way, using
@@ -494,14 +502,10 @@ func (c *Cache) VictimInSet(setIdx int) int {
 		}
 		return int(m.order >> (4 * uint(c.ways-1)) & 0xF)
 	}
-	base := setIdx * c.stride
-	for w := 0; w < c.ways; w++ {
-		if c.lines[base+w].State == Invalid {
-			return w
-		}
+	if w := c.wideFirstInvalid(setIdx); w >= 0 {
+		return w
 	}
-	s := c.wide[setIdx]
-	return s[len(s)-1]
+	return int(c.wide.tail[setIdx])
 }
 
 // Insert places a new line for block into its set at the given recency
@@ -569,6 +573,8 @@ func (c *Cache) insertAt(si, w int, block uint64, pos InsertPos, proto Line) (ev
 		} else {
 			c.meta[si].valid &^= 1 << uint(w)
 		}
+	} else {
+		c.wideSetLine(si, w, evicted, block, proto.State != Invalid)
 	}
 	if c.dir != nil {
 		c.dirReplace(evicted, block, proto.State != Invalid)
@@ -625,37 +631,18 @@ func (c *Cache) place(setIdx, w int, pos InsertPos) {
 		c.meta[setIdx].order = ins&c.usedMask | c.unusedMask
 		return
 	}
-	s := c.wide[setIdx]
-	idx := -1
-	for i, x := range s {
-		if x == w {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		panic(fmt.Sprintf("cachesim: way %d missing from stack of set %d", w, setIdx))
-	}
-	copy(s[idx:], s[idx+1:])
-	s = s[:len(s)-1]
-	target := 0
+	ws := c.wide
+	ws.unlink(setIdx, c.ways, w)
 	switch pos {
 	case InsertMRU:
-		target = 0
+		ws.pushFront(setIdx, c.ways, w)
 	case InsertLRU:
-		target = len(s)
+		ws.pushBack(setIdx, c.ways, w)
 	case InsertLRU1:
-		target = len(s) - 1
-		if target < 0 {
-			target = 0
-		}
+		ws.pushBeforeTail(setIdx, c.ways, w)
 	default:
 		panic(fmt.Sprintf("cachesim: unknown insert position %v", pos))
 	}
-	s = append(s, 0)
-	copy(s[target+1:], s[target:])
-	s[target] = w
-	c.wide[setIdx] = s
 }
 
 // VictimAmong returns the victim way in setIdx restricted to ways for which
@@ -677,16 +664,19 @@ func (c *Cache) VictimAmong(setIdx int, allowed func(way int) bool) int {
 		}
 		return -1
 	}
+	ws := c.wide
 	base := setIdx * c.stride
-	for w := 0; w < c.ways; w++ {
+	// No invalid way exists below the free hint, so the hole scan may
+	// start there.
+	for w := int(ws.free[setIdx]); w < c.ways; w++ {
 		if allowed(w) && c.lines[base+w].State == Invalid {
 			return w
 		}
 	}
-	s := c.wide[setIdx]
-	for i := len(s) - 1; i >= 0; i-- {
-		if allowed(s[i]) {
-			return s[i]
+	lbase := setIdx * c.ways
+	for w := ws.tail[setIdx]; w >= 0; w = ws.prev[lbase+int(w)] {
+		if allowed(int(w)) {
+			return int(w)
 		}
 	}
 	return -1
@@ -716,15 +706,14 @@ func (c *Cache) VictimDead(setIdx int) (way int, ok bool) {
 		}
 		return -1, false
 	}
-	for w := 0; w < c.ways; w++ {
-		if c.lines[base+w].State == Invalid {
-			return w, true
-		}
+	if w := c.wideFirstInvalid(setIdx); w >= 0 {
+		return w, true
 	}
-	s := c.wide[setIdx]
-	for i := len(s) - 1; i >= 0; i-- {
-		if w := s[i]; !c.lines[base+w].Reused {
-			return w, true
+	ws := c.wide
+	lbase := setIdx * c.ways
+	for w := ws.tail[setIdx]; w >= 0; w = ws.prev[lbase+int(w)] {
+		if !c.lines[base+int(w)].Reused {
+			return int(w), true
 		}
 	}
 	for w := 0; w < c.ways; w++ {
@@ -755,6 +744,8 @@ func (c *Cache) Invalidate(block uint64) (Line, bool) {
 	c.tags[idx] = 0
 	if c.wide == nil {
 		c.meta[si].valid &^= 1 << uint(w)
+	} else {
+		c.wideSetLine(si, w, old, 0, false)
 	}
 	if c.dir != nil {
 		if _, ok := c.Lookup(block); !ok {
@@ -787,8 +778,22 @@ func (c *Cache) CopyStateFrom(src *Cache) {
 	c.baseAccesses = src.baseAccesses
 	c.baseMisses = src.baseMisses
 	if c.wide != nil {
-		for i := range c.wide {
-			copy(c.wide[i], src.wide[i])
+		d, s := c.wide, src.wide
+		copy(d.next, s.next)
+		copy(d.prev, s.prev)
+		copy(d.head, s.head)
+		copy(d.tail, s.tail)
+		copy(d.nValid, s.nValid)
+		copy(d.free, s.free)
+		d.dups = s.dups
+		// The index starts with capacity for every line and Go retains map
+		// buckets across deletes, so clear-and-refill reaches a steady
+		// state with no allocation.
+		for k := range d.idx {
+			delete(d.idx, k)
+		}
+		for k, v := range s.idx {
+			d.idx[k] = v
 		}
 	}
 }
@@ -810,8 +815,12 @@ func (c *Cache) RecencyStack(setIdx int) []int {
 //		...
 //	}
 func (c *Cache) AppendRecencyStack(setIdx int, buf []int) []int {
-	if c.wide != nil {
-		return append(buf, c.wide[setIdx]...)
+	if ws := c.wide; ws != nil {
+		lbase := setIdx * c.ways
+		for w := ws.head[setIdx]; w >= 0; w = ws.next[lbase+int(w)] {
+			buf = append(buf, int(w))
+		}
+		return buf
 	}
 	o := c.meta[setIdx].order
 	for i := 0; i < c.ways; i++ {

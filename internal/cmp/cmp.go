@@ -68,6 +68,35 @@ type Params struct {
 	// are bit-identical at any setting. Requires the fused engine (the
 	// speculation protocol is spliced into its turn loop only).
 	SimParallel int
+
+	// SampleDen, when > 1, runs the set-sampled fast path (DESIGN.md §16):
+	// the machine is built at 1/SampleDen of the L2 sets (the deterministic,
+	// leader-including residue sample of trace.SampleSpec) and the caller
+	// must feed it the correspondingly filtered and rewritten reference
+	// streams (SampleSpec.View — the harness wires this). Per-set state and
+	// raw counters are then exactly a full-geometry machine's on the same
+	// filtered streams (FuzzSampleEquivalence); System.ScaleSampled
+	// reconstructs full-run-comparable cycles and counters. 0 and 1 are
+	// full fidelity. Incompatible with Prefetch, whose stride tables carry
+	// cross-set address deltas that filtering destroys.
+	SampleDen int
+
+	// SyncSlack coarsens the cross-core interleave by letting the minimum-
+	// clock core run that many cycles past the frontier runner-up before
+	// yielding its turn. 0 (the default) is the exact per-reference sync
+	// every full-fidelity run uses. The knob exists for the set-sampled fast
+	// path, whose cross-core interleave is already approximate: the clock
+	// trajectories a sampled run walks are the full run's, so without slack
+	// the turn count stays at full-fidelity levels while the references per
+	// turn shrink by SampleDen, and the per-turn bookkeeping swamps the
+	// kernel. A slack of a fraction of one memory round trip keeps the
+	// interleave skew within the magnitude of the skew a single full-
+	// fidelity event already causes, while recovering most of the full-
+	// fidelity references-per-turn. The harness sets this for sampled runs
+	// (harness.Config.params); the `sampling` experiment golden pins the
+	// resulting accuracy. Single-core runs have no frontier, so the
+	// FuzzSampleEquivalence exactness claim is slack-independent there.
+	SyncSlack float64
 }
 
 // Engine names a below-L1 stepping engine (Params.Engine).
@@ -165,6 +194,14 @@ func (p Params) Validate() error {
 	}
 	if p.L1.LineBytes != p.L2.LineBytes {
 		return fmt.Errorf("cmp: L1 line %dB != L2 line %dB", p.L1.LineBytes, p.L2.LineBytes)
+	}
+	if p.SampleDen > 1 {
+		if p.Prefetch {
+			return fmt.Errorf("cmp: set sampling (1/%d) is incompatible with the stride prefetcher (cross-set state)", p.SampleDen)
+		}
+		if _, err := p.SampleSpec(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -357,6 +394,25 @@ func New(p Params, gens []trace.Generator, timing []CoreTiming, policy coop.Poli
 	if policy == nil {
 		return nil, fmt.Errorf("cmp: nil policy")
 	}
+	spec, err := p.SampleSpec()
+	if err != nil {
+		return nil, err
+	}
+	if spec != nil {
+		// Set-sampled fast path (DESIGN.md §16): compact the geometry to
+		// the sampled sets — everything below allocates and indexes 1/den
+		// of the L2 (and L1) sets — while the policy keeps seeing
+		// full-geometry set indices through the translating wrapper, so its
+		// SDM classes, PSEL training, per-set quotas and RNG draw sequence
+		// are exactly the full machine's on the same filtered streams.
+		if p.L1, err = cachesim.SampledConfig(p.L1, p.SampleDen); err != nil {
+			return nil, err
+		}
+		if p.L2, err = cachesim.SampledConfig(p.L2, p.SampleDen); err != nil {
+			return nil, err
+		}
+		policy = wrapSampledPolicy(policy, spec)
+	}
 	s := &System{
 		p:          p,
 		policy:     policy,
@@ -525,7 +581,9 @@ func (s *System) runPhaseNoBatch(quota uint64) {
 		c := int(front[0])
 		second := math.Inf(1)
 		if len(front) > 1 {
-			second = s.clock[front[1]]
+			// SyncSlack is 0 outside the sampled fast path, keeping the
+			// exact per-reference sync (see Params.SyncSlack).
+			second = s.clock[front[1]] + s.p.SyncSlack
 		}
 		// Step the minimum core until it crosses the runner-up or retires.
 		st := &s.live[c]

@@ -170,7 +170,8 @@ func (s *System) runPhaseBatched(quota uint64) {
 		c := int(front[0])
 		second := math.Inf(1)
 		if len(front) > 1 {
-			second = s.clock[front[1]]
+			// SyncSlack is 0 outside the sampled fast path (Params.SyncSlack).
+			second = s.clock[front[1]] + s.p.SyncSlack
 		}
 		st := &s.live[c]
 		t := s.timing[c]

@@ -389,7 +389,8 @@ func (s *System) runPhaseParallel(quota uint64) {
 		c := int(front[0])
 		second := math.Inf(1)
 		if len(front) > 1 {
-			second = s.clock[front[1]]
+			// SyncSlack is 0 outside the sampled fast path (Params.SyncSlack).
+			second = s.clock[front[1]] + s.p.SyncSlack
 		}
 		// Take the slot before touching anything a worker might be reading.
 		sp := s.specClaim(c, quota)

@@ -21,6 +21,16 @@ type SharedParams struct {
 	HitCycles        float64 // average banked-access latency
 	MemLatencyCycles float64
 	MemOccupancy     float64
+
+	// SampleDen, when > 1, runs the shared machine on the set-sampled fast
+	// path (DESIGN.md §16): both geometries are compacted to 1/SampleDen of
+	// their sets and the caller feeds streams filtered with the private
+	// machine's SampleSpec (the aggregate L2's set count is a multiple of
+	// the same residue granule, so one filtered stream serves both
+	// machines). The shared machine is purely set-local — per-set LRU, no
+	// cooperative policy — so the closure argument needs no policy
+	// translation here at all.
+	SampleDen int
 }
 
 // DefaultSharedParams mirrors DefaultParams with the aggregate shared LLC:
@@ -70,6 +80,15 @@ type SharedSystem struct {
 func NewShared(p SharedParams, gens []trace.Generator, timing []CoreTiming) (*SharedSystem, error) {
 	if p.Cores <= 0 {
 		return nil, fmt.Errorf("cmp: non-positive core count %d", p.Cores)
+	}
+	if p.SampleDen > 1 {
+		var err error
+		if p.L1, err = cachesim.SampledConfig(p.L1, p.SampleDen); err != nil {
+			return nil, err
+		}
+		if p.L2, err = cachesim.SampledConfig(p.L2, p.SampleDen); err != nil {
+			return nil, err
+		}
 	}
 	if err := p.L1.Validate(); err != nil {
 		return nil, err

@@ -62,7 +62,7 @@ func All(cfg harness.Config) ([]Result, error) {
 		Fig7, Fig8, Fig9, SharedLLC, Fig10,
 		Multithreaded, Prefetcher, Table4, SpillBehavior,
 		LimitedCounters, Fig11, Table5, Ablation, FutureWork,
-		Scaleout,
+		Scaleout, Sampling,
 	}
 	cfg = cfg.EnsurePool()
 	out := make([]Result, len(steps))
@@ -106,6 +106,7 @@ func ByID(cfg harness.Config, id string) (Result, error) {
 		"ablation":   Ablation,
 		"futurework": FutureWork,
 		"scaleout":   Scaleout,
+		"sampling":   Sampling,
 	}
 	fn, ok := m[id]
 	if !ok {
@@ -121,6 +122,6 @@ func IDs() []string {
 		"fig7", "fig8", "fig9", "shared", "fig10",
 		"mt", "prefetch", "table4", "spills",
 		"limited", "fig11", "table5", "ablation", "futurework",
-		"scaleout",
+		"scaleout", "sampling",
 	}
 }

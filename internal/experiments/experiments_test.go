@@ -19,8 +19,8 @@ func tinyConfig() harness.Config {
 
 func TestIDsAndByID(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("%d experiment ids, want 20", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("%d experiment ids, want 21", len(ids))
 	}
 	if _, err := ByID(tinyConfig(), "bogus"); err == nil {
 		t.Fatal("unknown id accepted")
@@ -91,6 +91,32 @@ func TestSpeedupTableStructure(t *testing.T) {
 	for _, key := range []string{"geomean/DSR", "geomean/ASCC", "geomean/AVGCC"} {
 		if _, ok := res.Values[key]; !ok {
 			t.Errorf("missing headline value %s", key)
+		}
+	}
+}
+
+func TestSamplingStructure(t *testing.T) {
+	res, err := Sampling(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 denominators x 2 policies.
+	if len(res.Table.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(res.Table.Rows))
+	}
+	if res.Table.Rows[0][0] != "1/4" || res.Table.Rows[5][0] != "1/16" {
+		t.Fatalf("denominator order wrong: %v ... %v", res.Table.Rows[0], res.Table.Rows[5])
+	}
+	for _, key := range []string{"cpierr/1/8/DSR", "cpierr/1/8/AVGCC", "wserrpp/1/16/AVGCC"} {
+		v, ok := res.Values[key]
+		if !ok {
+			t.Errorf("missing headline value %s", key)
+			continue
+		}
+		// The estimate must stay in the same regime as the full run even at
+		// the test budget; the golden pins the exact figures.
+		if v < 0 || v > 50 {
+			t.Errorf("%s = %v, outside the sane accuracy envelope", key, v)
 		}
 	}
 }

@@ -28,9 +28,10 @@ func goldenConfig() harness.Config {
 
 // goldenExperiments are the artefacts pinned byte-for-byte: the headline
 // 4-core speedup figure, the fairness figure, the cache-size sensitivity
-// table and the core-count scaling table (whose probe column pins the
-// directory's query count at every width).
-var goldenExperiments = []string{"fig8", "fig9", "table4", "scaleout"}
+// table, the core-count scaling table (whose probe column pins the
+// directory's query count at every width) and the set-sampling accuracy
+// table (whose error columns pin how far the 1/N fast path may drift).
+var goldenExperiments = []string{"fig8", "fig9", "table4", "scaleout", "sampling"}
 
 // TestGoldenTables regenerates each pinned experiment with the golden
 // configuration and requires its CSV rendering to be byte-identical to the

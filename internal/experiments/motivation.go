@@ -56,6 +56,12 @@ func Fig1(cfg harness.Config) (Result, error) {
 		bi, wi := k/len(ways), k%len(ways)
 		params := cfg.Params(1)
 		params.L2 = fig1Cache(cfg, ways[wi])
+		if ways[wi] == 0 {
+			// Single-core way points sample exactly (the closure argument,
+			// DESIGN.md §16), but the fully associative point has one set —
+			// nothing to sample — so it alone stays full fidelity.
+			params.SampleDen = 0
+		}
 		run, _, err := r.RunSingle(fig1Benchmarks[bi], params)
 		if err != nil {
 			return err
@@ -89,6 +95,9 @@ func Fig1(cfg harness.Config) (Result, error) {
 // ways (favored) versus sets that remain unchanged (constant), for astar and
 // milc, comparing each way count with two fewer ways.
 func Fig2(cfg harness.Config) (Result, error) {
+	// Fig2 inspects per-set miss rates across the whole L2; the set sample
+	// would leave most of those sets unsimulated, so it runs full fidelity.
+	cfg.SampleDen = 0
 	r := harness.SharedRunner(cfg)
 	ways := []int{4, 6, 8, 10, 12, 14, 16}
 	res := Result{ID: "fig2"}

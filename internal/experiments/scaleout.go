@@ -51,7 +51,7 @@ func Scaleout(cfg harness.Config) (Result, error) {
 			return Result{}, err
 		}
 		start := time.Now()
-		res := sys.Run(c.WarmupInstr, c.MeasureInstr)
+		res := sys.ScaleSampled(sys.Run(c.WarmupInstr, c.MeasureInstr))
 		wall := time.Since(start)
 		var instr uint64
 		var cycles float64

@@ -82,6 +82,7 @@ func maxCycles(res cmp.Results) float64 {
 // AVGCC improvements with a 16 kB stride prefetcher per LLC.
 func Prefetcher(cfg harness.Config) (Result, error) {
 	cfg.Prefetch = true
+	cfg.SampleDen = 0 // the stride prefetcher crosses set boundaries (harness drops it too)
 	res := Result{ID: "prefetch"}
 	res.Table = harness.Table{
 		Title:  "§6.3: with a 16 kB stride prefetcher per LLC",

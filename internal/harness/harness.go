@@ -92,6 +92,19 @@ type Config struct {
 	// queries with broadcast row scans. Results are bit-identical either
 	// way; the toggle exists for the honest A/B and as an escape hatch.
 	NoDirectory bool
+	// SampleDen, when > 1, runs every simulation on the set-sampled fast
+	// path (cmp.Params.SampleDen, DESIGN.md §16): the machine models
+	// 1/SampleDen of the L2 sets (a deterministic residue sample that
+	// always contains the policies' SDM leader sets), the reference
+	// streams are pre-filtered to those sets at the arena layer (the
+	// filtered sub-arena is cached and persisted like any other arena),
+	// and the results are rescaled to full-run magnitudes
+	// (cmp.System.ScaleSampled). Single-core per-set behaviour is exact;
+	// multi-core results differ only through cross-core interleave.
+	// Ignored (full fidelity) when Prefetch is set — the stride prefetcher
+	// crosses set boundaries. Experiments that inspect per-set state
+	// (fig1, fig2) or run the shared-LLC machine clear it internally.
+	SampleDen int
 
 	// pool, when non-nil, is the worker pool shared by every Runner built
 	// from this configuration (set via WithPool / EnsurePool). The zero
@@ -159,8 +172,29 @@ func (c Config) params(cores int) cmp.Params {
 	p.Engine = c.Engine
 	p.NoDirectory = c.NoDirectory
 	p.SimParallel = c.SimParallel
+	if c.SampleDen > 1 && !c.Prefetch {
+		p.SampleDen = c.SampleDen
+		// Sync cores at sampled granularity: a kept reference stands for
+		// SampleDen full-stream references, so the exact per-reference
+		// frontier would keep full-fidelity turn counts over 1/SampleDen the
+		// references and the turn bookkeeping would swamp the kernel. The
+		// slack recovers most of the lost references-per-turn; the interleave
+		// skew it admits (SampleDen-1 skipped references' worth of base
+		// cycles — 112 cycles at 1/8, a quarter of one memory round trip)
+		// keeps the measured CPI drift within ~2% at 1/8, and the
+		// `sampling` experiment golden pins the accuracy at every
+		// denominator.
+		p.SyncSlack = syncSlackPerSkip * float64(c.SampleDen-1)
+	}
 	return p
 }
+
+// syncSlackPerSkip is the sampled-run interleave slack per skipped
+// reference (cmp.Params.SyncSlack), in cycles. The measured knee: 16
+// recovers nearly all of the turn-overhead reduction that 4x coarser
+// slack reaches (suite CPU 24s -> 21s at 1/8) while keeping mean
+// aggregate-CPI drift ~2% where coarser slack reached 8%.
+const syncSlackPerSkip = 16.0
 
 // extend widens a mix to the configured core count (no-op when Cores is
 // zero or the mix is already at least that wide).
@@ -179,10 +213,20 @@ func (c Config) L2Geometry() (sets, ways int) {
 // orders of magnitude shorter, so the period shrinks quadratically with the
 // geometry scale (the counter count to refine through also shrinks) to give
 // AVGCC a comparable number of decisions before measurement ends.
+// Under set sampling the policies see 1/SampleDen of the L2 accesses for
+// the same instruction count, so the period shrinks by the denominator too,
+// keeping the adaptation cadence (decisions per instruction) aligned with
+// the full-fidelity run it estimates.
 func (c Config) ResizePeriod() uint64 {
 	p := uint64(100000) / uint64(c.Scale*c.Scale)
 	if p < 500 {
 		p = 500
+	}
+	if c.SampleDen > 1 && !c.Prefetch {
+		p /= uint64(c.SampleDen)
+		if p < 1 {
+			p = 1
+		}
 	}
 	return p
 }
@@ -360,15 +404,40 @@ func (p *Pool) FlushArenas() error {
 // their RNG seed and address base from the slot index, so e.g. benchmark
 // 445 at core 0 produces one stream no matter which mix (or single-app
 // baseline) it appears in — all of those runs replay one arena.
-func (r *Runner) replayGens(kind string, gens []trace.Generator) []trace.Generator {
-	if r.arenas == nil {
-		return gens
+//
+// When p carries a set sample (DESIGN.md §16) each stream is additionally
+// filtered to the sampled sets: the filtered, address-rewritten stream is
+// itself a cached arena — keyed by the parent arena's key plus the complete
+// sample spec, so it composes with the LRU budget, the singleflight
+// synthesis and the persistent store tier for free — built by a single
+// straight-decode pass over the parent arena on first use. Every subsequent
+// sampled run replays the compact stream at full arena speed, touching
+// 1/Den of the references.
+func (r *Runner) replayGens(kind string, gens []trace.Generator, p cmp.Params) ([]trace.Generator, error) {
+	spec, err := p.SampleSpec()
+	if err != nil {
+		return nil, err
 	}
 	out := make([]trace.Generator, len(gens))
 	for i, g := range gens {
-		out[i] = r.arenas.Get(r.arenaKey(kind, i, g.Name()), g).NewReplayer()
+		if r.arenas == nil {
+			if spec == nil {
+				out[i] = g
+			} else {
+				out[i] = spec.View(g) // live filtering, no cache to land in
+			}
+			continue
+		}
+		key := r.arenaKey(kind, i, g.Name())
+		a := r.arenas.Get(key, g)
+		if spec == nil {
+			out[i] = a.NewReplayer()
+			continue
+		}
+		skey := key + "?sample=" + spec.String()
+		out[i] = r.arenas.Get(skey, spec.View(a.NewReplayer())).NewReplayer()
 	}
-	return out
+	return out, nil
 }
 
 // arenaKey names the packed arena for one stream slot: the cache (and the
@@ -464,8 +533,10 @@ func (r *Runner) runMix(mix []int, id PolicyID) (cmp.Results, error) {
 		if err != nil {
 			return cmp.Results{}, err
 		}
-		gens = r.replayGens("mix", gens)
 		p := r.Cfg.params(len(mix))
+		if gens, err = r.replayGens("mix", gens, p); err != nil {
+			return cmp.Results{}, err
+		}
 		sets, ways := r.Cfg.L2Geometry()
 		pol, err := NewPolicy(id, len(mix), sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
 		if err != nil {
@@ -475,7 +546,7 @@ func (r *Runner) runMix(mix []int, id PolicyID) (cmp.Results, error) {
 		if err != nil {
 			return cmp.Results{}, err
 		}
-		return r.simulate(sys), nil
+		return sys.ScaleSampled(r.simulate(sys)), nil
 	})
 }
 
@@ -490,13 +561,16 @@ func (r *Runner) NewMixSystem(mix []int, id PolicyID) (*cmp.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	gens = r.replayGens("mix", gens)
+	p := r.Cfg.params(len(mix))
+	if gens, err = r.replayGens("mix", gens, p); err != nil {
+		return nil, err
+	}
 	sets, ways := r.Cfg.L2Geometry()
 	pol, err := NewPolicy(id, len(mix), sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
 	if err != nil {
 		return nil, err
 	}
-	return cmp.New(r.Cfg.params(len(mix)), gens, timingFor(profs), pol)
+	return cmp.New(p, gens, timingFor(profs), pol)
 }
 
 // RunMixWith runs a mix under an explicitly constructed policy (for the
@@ -508,12 +582,15 @@ func (r *Runner) RunMixWith(mix []int, pol coop.Policy) (cmp.Results, error) {
 	if err != nil {
 		return cmp.Results{}, err
 	}
-	gens = r.replayGens("mix", gens)
-	sys, err := cmp.New(r.Cfg.params(len(mix)), gens, timingFor(profs), pol)
+	p := r.Cfg.params(len(mix))
+	if gens, err = r.replayGens("mix", gens, p); err != nil {
+		return cmp.Results{}, err
+	}
+	sys, err := cmp.New(p, gens, timingFor(profs), pol)
 	if err != nil {
 		return cmp.Results{}, err
 	}
-	return r.simulate(sys), nil
+	return sys.ScaleSampled(r.simulate(sys)), nil
 }
 
 // RunShared runs a mix on the shared-LLC machine of §6.1 (memoised). The
@@ -526,16 +603,23 @@ func (r *Runner) RunShared(mix []int) (cmp.Results, error) {
 		if err != nil {
 			return cmp.Results{}, err
 		}
-		gens = r.replayGens("mix", gens)
+		// The shared machine samples with the private machine's spec (its
+		// aggregate L2 keeps the same residue granule), so the filtered
+		// sub-arenas built for the mix runs are replayed here as-is.
+		p := r.Cfg.params(len(mix))
+		if gens, err = r.replayGens("mix", gens, p); err != nil {
+			return cmp.Results{}, err
+		}
 		sp := cmp.DefaultSharedParams(len(mix), r.Cfg.Scale)
 		if r.Cfg.L2SizeBytes > 0 {
 			sp.L2.SizeBytes = r.Cfg.L2SizeBytes / r.Cfg.Scale * len(mix)
 		}
+		sp.SampleDen = p.SampleDen
 		sys, err := cmp.NewShared(sp, gens, timingFor(profs))
 		if err != nil {
 			return cmp.Results{}, err
 		}
-		return r.simulate(sys), nil
+		return sys.ScaleSampled(r.simulate(sys)), nil
 	})
 }
 
@@ -548,12 +632,15 @@ func (r *Runner) RunMT(name string, threads int, id PolicyID) (cmp.Results, erro
 		if err != nil {
 			return cmp.Results{}, err
 		}
-		gens := r.replayGens("mt", prof.NewGenerators(threads, rng.Mix64(r.Cfg.Seed^0x317), r.Cfg.Scale))
+		p := r.Cfg.params(threads)
+		gens, err := r.replayGens("mt", prof.NewGenerators(threads, rng.Mix64(r.Cfg.Seed^0x317), r.Cfg.Scale), p)
+		if err != nil {
+			return cmp.Results{}, err
+		}
 		timing := make([]cmp.CoreTiming, threads)
 		for i := range timing {
 			timing[i] = cmp.CoreTiming{BaseCPI: prof.BaseCPI, Overlap: prof.Overlap}
 		}
-		p := r.Cfg.params(threads)
 		sets, ways := r.Cfg.L2Geometry()
 		pol, err := NewPolicy(id, threads, sets, ways, r.Cfg.Seed, r.Cfg.ResizePeriod())
 		if err != nil {
@@ -563,7 +650,7 @@ func (r *Runner) RunMT(name string, threads int, id PolicyID) (cmp.Results, erro
 		if err != nil {
 			return cmp.Results{}, err
 		}
-		return r.simulate(sys), nil
+		return sys.ScaleSampled(r.simulate(sys)), nil
 	})
 }
 
@@ -576,13 +663,16 @@ func (r *Runner) RunSingle(id int, p cmp.Params) (cmp.Results, *cmp.System, erro
 		return cmp.Results{}, nil, err
 	}
 	gen := prof.NewGenerator(rng.Mix64(r.Cfg.Seed+77), 0, r.Cfg.Scale)
-	gens := r.replayGens("single", []trace.Generator{gen})
+	gens, err := r.replayGens("single", []trace.Generator{gen}, p)
+	if err != nil {
+		return cmp.Results{}, nil, err
+	}
 	sys, err := cmp.New(p, gens,
 		[]cmp.CoreTiming{{BaseCPI: prof.BaseCPI, Overlap: prof.Overlap}}, policies.NewBaseline())
 	if err != nil {
 		return cmp.Results{}, nil, err
 	}
-	res := r.simulate(sys)
+	res := sys.ScaleSampled(r.simulate(sys))
 	return res, sys, nil
 }
 

@@ -9,12 +9,16 @@
 # (EngineBatched vs EngineRefStep; add L2BATCH_EXPALL=1 for its -exp all
 # pairs), the persistent arena-store A/B (live stream synthesis vs mmap'd
 # store replay; add STORE_EXPALL=1 for interleaved cold-vs-warm asccbench
-# -exp all wall-clock pairs with CSV identity checks), the coherence-probe
+# -exp all wall-clock pairs with CSV identity checks), the set-sampled
+# fast-path A/B (sampled 1/8 vs full-fidelity end-to-end simulation plus
+# the filter/replay stream halves; add SAMPLE_EXPALL=1 for interleaved
+# full-vs-sampled asccbench -exp all wall-clock pairs with the `sampling`
+# accuracy columns recorded), the coherence-probe
 # scaleout A/B (broadcast scan vs set-sharded directory at 4/16/64 cores)
 # and the end-to-end simulator benchmark, then writes BENCH_kernel.json
 # with the headline numbers and appends one summary record (commit, date,
 # expall median, kernel ns/block) to the BENCH_history.json array.
-# Usage: [FUSED_EXPALL=1] [L2BATCH_EXPALL=1] [STORE_EXPALL=1] scripts/bench_kernel.sh [output.json]
+# Usage: [FUSED_EXPALL=1] [L2BATCH_EXPALL=1] [STORE_EXPALL=1] [SAMPLE_EXPALL=1] scripts/bench_kernel.sh [output.json]
 set -eu
 
 out=${1:-BENCH_kernel.json}
@@ -205,6 +209,95 @@ if [ "${STORE_EXPALL:-0}" = "1" ]; then
 		printf "\"expall_warm_s\": %.3f\n", w
 		printf "\"expall_warm_speedup_vs_cold\": %.3f\n", c / w
 	}' "$tmp/storepairs.txt" >"$tmp/storeexpall.medians"
+fi
+
+echo "== sampling: filtered-stream halves, one-time filter vs sub-arena replay (internal/trace) =="
+# The set-sampled fast path's stream-layer halves (DESIGN.md 16): "filter"
+# is the one-time derivation of a 1/8 sub-arena from a packed full arena
+# (decode + residue test + gap merge + set rewrite), "replay" the straight
+# decode every subsequent sampled run pays, where each reference stands for
+# ~8 source references.
+$go test ./internal/trace -run '^$' -bench 'BenchmarkSampledStream' \
+	-benchtime 2s | tee "$tmp/samplestream.txt"
+
+echo "== sampling: sampled 1/8 vs full end-to-end simulation =="
+# The fast path's per-run A/B: the end-to-end 4-core AVGCC simulation on
+# the set-sampled fast path (BenchmarkSampledThroughput, -sample 1/8
+# semantics) against the identical full-fidelity run
+# (BenchmarkSimulatorThroughput), interleaved per round. instr/s counts
+# retired full-stream instructions on both sides — the sampled stream
+# carries the skipped references' instruction gaps — so the instr/s ratio
+# is the fast path's honest per-run speedup.
+: >"$tmp/samplingpair.txt"
+for round in 1 2 3 4 5; do
+	$go test . -run '^$' -bench 'Benchmark(Simulator|Sampled)Throughput$' \
+		-benchtime 20x | tee -a "$tmp/samplingpair.txt"
+done
+
+# Optional end-to-end wall-clock A/B over the full experiment sweep: five
+# interleaved `asccbench -exp all` pairs, full fidelity vs -sample 1/8,
+# both arms against the same prewarmed arena store so the comparison
+# isolates the fast path rather than stream synthesis. Every full-arm CSV
+# must be byte-identical to the full reference (the sampled arm estimates,
+# so only its own determinism across rounds is demanded), and the run
+# records the `sampling` experiment's accuracy columns alongside the
+# wall-clock medians. Only runs under SAMPLE_EXPALL=1; the committed
+# BENCH_kernel.json was generated with it enabled.
+if [ "${SAMPLE_EXPALL:-0}" = "1" ]; then
+	echo "== sampling: asccbench -exp all full vs -sample 1/8 wall-clock pairs (SAMPLE_EXPALL=1) =="
+	[ -x "$tmp/asccbench" ] || $go build -o "$tmp/asccbench" ./cmd/asccbench
+	sampledir="$tmp/sample-store"
+	"$tmp/asccbench" -exp all -format csv -arena-store="$sampledir" >"$tmp/sample-fullref.csv"
+	"$tmp/asccbench" -exp all -sample 1/8 -format csv -arena-store="$sampledir" >"$tmp/sample-sampref.csv"
+	: >"$tmp/samplepairs.txt"
+	for round in 1 2 3 4 5; do
+		for side in full sampled; do
+			[ "$side" = full ] && sampleflags="" || sampleflags="-sample 1/8"
+			t0=$(date +%s.%N)
+			# shellcheck disable=SC2086
+			"$tmp/asccbench" -exp all $sampleflags -format csv -arena-store="$sampledir" >"$tmp/sample-$side.csv"
+			t1=$(date +%s.%N)
+			awk -v s="$side" -v a="$t0" -v b="$t1" \
+				'BEGIN { printf "%s %.3f\n", s, b - a }' | tee -a "$tmp/samplepairs.txt"
+			[ "$side" = full ] && ref="$tmp/sample-fullref.csv" || ref="$tmp/sample-sampref.csv"
+			if ! cmp -s "$ref" "$tmp/sample-$side.csv"; then
+				echo "FATAL: $side -exp all CSV diverged from its reference run" >&2
+				exit 1
+			fi
+		done
+	done
+	"$tmp/asccbench" -exp sampling -format csv -arena-store="$sampledir" >"$tmp/sample-acc.csv"
+	{
+		awk '
+		function median(a, n,    i, j, t) {
+			for (i = 2; i <= n; i++) {
+				t = a[i]
+				for (j = i - 1; j >= 1 && a[j] > t; j--) a[j+1] = a[j]
+				a[j+1] = t
+			}
+			if (n % 2) return a[(n+1)/2]
+			return (a[n/2] + a[n/2+1]) / 2
+		}
+		$1 == "full"    { fu[++nf] = $2 }
+		$1 == "sampled" { sa[++ns] = $2 }
+		END {
+			f = median(fu, nf); s = median(sa, ns)
+			printf "\"expall_pairs\": %d\n", nf
+			printf "\"expall_csv_deterministic\": true\n"
+			printf "\"expall_full_s\": %.3f\n", f
+			printf "\"expall_sampled_s\": %.3f\n", s
+			printf "\"expall_speedup_vs_full\": %.3f\n", f / s
+		}' "$tmp/samplepairs.txt"
+		# The accuracy table's error columns, pinned next to the speedup they
+		# buy: CSV rows are sample,policy,CPI err% mean,CPI err% max,WS impr
+		# full,WS impr sampled,WS err pp mean (comment lines start with #).
+		awk -F, 'NR > 1 && $1 !~ /^#/ {
+			s = $1; gsub("/", "of", s)
+			printf "\"accuracy_%s_%s_cpi_err_pct_mean\": %s\n", s, $2, $3
+			printf "\"accuracy_%s_%s_cpi_err_pct_max\": %s\n", s, $2, $4
+			printf "\"accuracy_%s_%s_ws_err_pp_mean\": %s\n", s, $2, $7
+		}' "$tmp/sample-acc.csv"
+	} >"$tmp/sampleexpall.medians"
 fi
 
 echo "== scaleout: coherence probe, broadcast vs directory at 4/16/64 cores =="
@@ -404,6 +497,42 @@ END {
 	printf "  },\n"
 }' "$tmp/scaleout.txt" >"$tmp/scaleout.json"
 
+awk -v expall="$tmp/sampleexpall.medians" '
+function median(a, n,    i, j, t) {
+	for (i = 2; i <= n; i++) {
+		t = a[i]
+		for (j = i - 1; j >= 1 && a[j] > t; j--) a[j+1] = a[j]
+		a[j+1] = t
+	}
+	if (n % 2) return a[(n+1)/2]
+	return (a[n/2] + a[n/2+1]) / 2
+}
+/BenchmarkSampledStream\/filter/ {
+	for (i = 1; i <= NF; i++) if ($i == "refs/s") flt = $(i-1)
+}
+/BenchmarkSampledStream\/replay/ {
+	for (i = 1; i <= NF; i++) if ($i == "refs/s") rep = $(i-1)
+}
+/BenchmarkSimulatorThroughput/ {
+	for (i = 1; i <= NF; i++) if ($i == "instr/s") fi[++nf] = $(i-1)
+}
+/BenchmarkSampledThroughput/ {
+	for (i = 1; i <= NF; i++) if ($i == "instr/s") si[++ns] = $(i-1)
+}
+END {
+	f = median(fi, nf); s = median(si, ns)
+	printf "  \"sampling\": {\n"
+	printf "    \"workload\": \"4-core AVGCC, 1M instructions per core, set-sampled 1/8 (pre-filtered sub-arena, scale-8 geometry) vs full fidelity; instr/s counts retired full-stream instructions on both sides\",\n"
+	printf "    \"rounds\": %d,\n", nf
+	printf "    \"filter_refs_per_sec\": %s,\n", flt
+	printf "    \"sampled_replay_refs_per_sec\": %s,\n", rep
+	printf "    \"full_instr_per_sec\": %d,\n", f
+	printf "    \"sampled_instr_per_sec\": %d,\n", s
+	printf "    \"run_speedup_vs_full\": %.2f", s / f
+	while ((getline line < expall) > 0) printf ",\n    %s", line
+	printf "\n  },\n"
+}' "$tmp/samplestream.txt" "$tmp/samplingpair.txt" >"$tmp/sampling.json"
+
 awk '
 /BenchmarkSimulatorThroughput/ {
 	ns=$3
@@ -427,7 +556,7 @@ END {
 	echo '{'
 	echo '  "note": "generated by scripts/bench_kernel.sh (make bench-baseline); ref is the pre-rewrite kernel, kept verbatim as internal/cachesim/refmodel",'
 	printf '  "go": "%s",\n' "$($go env GOVERSION)"
-	cat "$tmp/kernel.json" "$tmp/stream.json" "$tmp/store.json" "$tmp/burst.json" "$tmp/l1l2fused.json" "$tmp/l2batch.json" "$tmp/scaleout.json" "$tmp/e2e.json"
+	cat "$tmp/kernel.json" "$tmp/stream.json" "$tmp/store.json" "$tmp/burst.json" "$tmp/l1l2fused.json" "$tmp/l2batch.json" "$tmp/sampling.json" "$tmp/scaleout.json" "$tmp/e2e.json"
 	echo '}'
 } >"$out"
 
@@ -446,8 +575,12 @@ emed=null
 if [ -f "$tmp/fusedexpall.medians" ]; then
 	emed=$(awk -F': ' '/"expall_fused_s"/ { print $2 }' "$tmp/fusedexpall.medians")
 fi
-rec=$(printf '{"commit": "%s", "date": "%s", "expall_median_s": %s, "kernel_ns_per_block": %s}' \
-	"$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$emed" "${kns:-null}")
+smed=null
+if [ -f "$tmp/sampleexpall.medians" ]; then
+	smed=$(awk -F': ' '/"expall_sampled_s"/ { print $2 }' "$tmp/sampleexpall.medians")
+fi
+rec=$(printf '{"commit": "%s", "date": "%s", "expall_median_s": %s, "sampled_expall_median_s": %s, "kernel_ns_per_block": %s}' \
+	"$commit" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$emed" "$smed" "${kns:-null}")
 {
 	echo '['
 	if [ -s "$hist" ]; then
